@@ -1,0 +1,131 @@
+// Command gcmon reproduces the HANA system-load view of Figure 2 as a
+// terminal ticker: it runs the mixed OLTP/OLAP workload and prints the
+// figure's indicators once per interval — Active Versions, the Active
+// Commit ID Range (current CID minus the oldest active snapshot timestamp),
+// and the estimated version-space memory — so the version-space overflow
+// phenomenon, and its disappearance under HybridGC, can be watched live.
+//
+// Usage:
+//
+//	gcmon -gc none -duration 10s    # Figure 2: unbounded growth
+//	gcmon -gc hg   -duration 10s    # HybridGC keeps it flat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"hybridgc/internal/core"
+	"hybridgc/internal/gc"
+	"hybridgc/internal/tpcc"
+	"hybridgc/internal/workload"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 10*time.Second, "run duration")
+		interval = flag.Duration("interval", 500*time.Millisecond, "indicator print interval")
+		mode     = flag.String("gc", "none", "garbage collection mode: none, gt, gttg, hg")
+		cursor   = flag.Bool("cursor", true, "hold a long-duration cursor on STOCK")
+	)
+	flag.Parse()
+
+	var m workload.Mode
+	switch strings.ToLower(*mode) {
+	case "none":
+		m = workload.ModeNone
+	case "gt":
+		m = workload.ModeGT
+	case "gttg", "gt+tg":
+		m = workload.ModeGTTG
+	case "hg", "hybrid":
+		m = workload.ModeHG
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -gc mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	base := gc.Periods{GT: 50 * time.Millisecond, TG: 150 * time.Millisecond, SI: 500 * time.Millisecond}
+	db, err := core.Open(core.Config{GC: m.Periods(base), LongLivedThreshold: 100 * time.Millisecond})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	driver, err := tpcc.New(db, tpcc.Config{Warehouses: 2, Items: 150, CustomersPerDistrict: 20})
+	if err != nil {
+		fatal(err)
+	}
+	if err := driver.Load(); err != nil {
+		fatal(err)
+	}
+	if m != workload.ModeNone {
+		db.GC().Start()
+		defer db.GC().Stop()
+	}
+	if *cursor {
+		cur, err := db.OpenCursor(driver.StockTableID())
+		if err != nil {
+			fatal(err)
+		}
+		defer cur.Close()
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 1; w <= driver.Config().Warehouses; w++ {
+		wg.Add(1)
+		go func(wk *tpcc.Worker) {
+			defer wg.Done()
+			_ = wk.Run(1<<62, stop)
+		}(driver.NewWorker(w))
+	}
+
+	fmt.Printf("gcmon: GC=%s cursor=%v — the Figure 2 indicators\n", m, *cursor)
+	fmt.Printf("%-8s %-16s %-22s %-14s %s\n",
+		"t", "Active Versions", "Active CID Range", "Used Memory", "Reclaimed")
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	deadline := time.After(*duration)
+	start := time.Now()
+loop:
+	for {
+		select {
+		case <-tick.C:
+			st := db.Stats()
+			mem := st.VersionsLiveBytes
+			fmt.Printf("%-8s %-16d %-22d %-14s %d\n",
+				fmt.Sprintf("%.1fs", time.Since(start).Seconds()),
+				st.VersionsLive, st.ActiveCIDRange, fmtBytes(mem), st.VersionsReclaimed)
+		case <-deadline:
+			break loop
+		}
+	}
+	close(stop)
+	wg.Wait()
+	st := db.Stats()
+	fmt.Printf("\nfinal: versions=%d reclaimed=%d migrated=%d collision=%.2f\n",
+		st.VersionsLive, st.VersionsReclaimed, st.VersionsMigrated, st.Hash.CollisionRatio)
+	fmt.Println("Figure 9 regions:", gc.CurrentRegions(db.Manager()))
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcmon:", err)
+	os.Exit(1)
+}

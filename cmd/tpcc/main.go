@@ -1,0 +1,152 @@
+// Command tpcc runs the modified TPC-C benchmark (§5.1) standalone against
+// the engine: one worker per warehouse bound to its home warehouse, the
+// configured garbage collection mode, and a final consistency check. It
+// prints throughput, per-profile transaction counts, and engine statistics.
+//
+// Usage:
+//
+//	tpcc -warehouses 4 -duration 10s -gc hg
+//	tpcc -gc none -duration 3s          # watch the version space overflow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"hybridgc/internal/core"
+	"hybridgc/internal/gc"
+	"hybridgc/internal/tpcc"
+	"hybridgc/internal/workload"
+)
+
+func main() {
+	var (
+		warehouses = flag.Int("warehouses", 4, "number of warehouses (and workers)")
+		items      = flag.Int("items", 200, "items per warehouse")
+		customers  = flag.Int("customers", 30, "customers per district")
+		districts  = flag.Int("districts", 10, "districts per warehouse")
+		duration   = flag.Duration("duration", 10*time.Second, "benchmark duration")
+		mode       = flag.String("gc", "hg", "garbage collection mode: none, gt, gttg, hg")
+		cursor     = flag.Bool("cursor", false, "hold a long-duration cursor on STOCK (the paper's GC blocker)")
+		check      = flag.Bool("check", true, "run TPC-C consistency checks at the end")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var m workload.Mode
+	switch strings.ToLower(*mode) {
+	case "none":
+		m = workload.ModeNone
+	case "gt":
+		m = workload.ModeGT
+	case "gttg", "gt+tg":
+		m = workload.ModeGTTG
+	case "hg", "hybrid":
+		m = workload.ModeHG
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -gc mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	base := gc.Periods{GT: 50 * time.Millisecond, TG: 150 * time.Millisecond, SI: 500 * time.Millisecond}
+	db, err := core.Open(core.Config{
+		GC:                 m.Periods(base),
+		LongLivedThreshold: 100 * time.Millisecond,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	driver, err := tpcc.New(db, tpcc.Config{
+		Warehouses:           *warehouses,
+		Districts:            *districts,
+		CustomersPerDistrict: *customers,
+		Items:                *items,
+		Seed:                 *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loading TPC-C: %d warehouses, %d districts, %d customers/district, %d items...\n",
+		*warehouses, *districts, *customers, *items)
+	if err := driver.Load(); err != nil {
+		fatal(err)
+	}
+
+	if m != workload.ModeNone {
+		db.GC().Start()
+	}
+	var cur *core.Cursor
+	if *cursor {
+		cur, err = db.OpenCursor(driver.StockTableID())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("long-duration cursor opened on STOCK at snapshot %d\n", cur.SnapshotTS())
+	}
+
+	fmt.Printf("running %v with GC mode %s...\n", *duration, m)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	workers := make([]*tpcc.Worker, *warehouses)
+	startStmts := db.StatementCount()
+	start := time.Now()
+	for w := 1; w <= *warehouses; w++ {
+		workers[w-1] = driver.NewWorker(w)
+		wg.Add(1)
+		go func(wk *tpcc.Worker) {
+			defer wg.Done()
+			if err := wk.Run(1<<62, stop); err != nil {
+				fmt.Fprintf(os.Stderr, "worker %d: %v\n", wk.Warehouse(), err)
+			}
+		}(workers[w-1])
+	}
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if cur != nil {
+		cur.Close()
+	}
+	if m != workload.ModeNone {
+		db.GC().Stop()
+	}
+
+	stmts := db.StatementCount() - startStmts
+	fmt.Printf("\nthroughput: %.0f committed statements/s (%d statements in %v)\n",
+		float64(stmts)/elapsed.Seconds(), stmts, elapsed.Round(time.Millisecond))
+	for t := tpcc.TxnNewOrder; t <= tpcc.TxnStockLevel; t++ {
+		var committed, aborted int64
+		for _, wk := range workers {
+			committed += wk.Stats.Committed[t].Load()
+			aborted += wk.Stats.Aborted[t].Load()
+		}
+		fmt.Printf("  %-12s committed=%-8d aborted=%d\n", t, committed, aborted)
+	}
+	st := db.Stats()
+	fmt.Printf("\nversion space: live=%d created=%d reclaimed=%d migrated=%d\n",
+		st.VersionsLive, st.VersionsCreated, st.VersionsReclaimed, st.VersionsMigrated)
+	fmt.Printf("hash table: %d chains over %d buckets (collision ratio %.2f)\n",
+		st.Hash.Chains, st.Hash.Buckets, st.Hash.CollisionRatio)
+	fmt.Printf("commit groups pending: %d, txns committed: %d, groups: %d\n",
+		st.GroupListLen, st.Txn.TxnsCommitted, st.Txn.GroupsCommitted)
+
+	if *check {
+		fmt.Print("\nconsistency check... ")
+		if err := driver.Check(); err != nil {
+			fmt.Println("FAILED")
+			fatal(err)
+		}
+		fmt.Println("OK")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpcc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Trans-SI scenario (§5.5): an application repeatedly opens a
+// transaction-level snapshot isolation transaction, idles inside it
+// (application logic), then scans STOCK and commits. Because the
+// transaction's table scope is unknown a priori, the table collector cannot
+// help — only the interval collector keeps the version space and the scan
+// latency flat. A second part shows HANA's declared-table API making the
+// same transaction TG-friendly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hybridgc"
+	"hybridgc/internal/tpcc"
+	"hybridgc/internal/workload"
+)
+
+func main() {
+	cfg := tpcc.Config{Warehouses: 2, Districts: 4, CustomersPerDistrict: 15, Items: 100, Seed: 5}
+	fmt.Println("running TPC-C with repeated long Trans-SI transactions over STOCK...")
+	for _, m := range []workload.Mode{workload.ModeGT, workload.ModeGTTG, workload.ModeHG} {
+		res, err := workload.Run(workload.Options{
+			Mode:     m,
+			TPCC:     cfg,
+			Duration: 1200 * time.Millisecond,
+			TransSI:  &workload.TransSIOptions{Sleep: 150 * time.Millisecond},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var mean time.Duration
+		for _, d := range res.TransSIScans {
+			mean += d
+		}
+		if len(res.TransSIScans) > 0 {
+			mean /= time.Duration(len(res.TransSIScans))
+		}
+		fmt.Printf("  %-6s scans=%-3d mean scan latency=%-10v final versions=%.0f\n",
+			m, len(res.TransSIScans), mean.Round(time.Microsecond), res.Versions.Last())
+	}
+	fmt.Println("\npaper's Figure 16 shape: TG gains nothing over GT (scope unknown);")
+	fmt.Println("HG's interval collector keeps scans fast regardless.")
+
+	// Declared-table transactions: HANA's API lets the application promise
+	// its table set up front, which (a) makes the snapshot eligible for
+	// table GC and (b) turns out-of-scope access into an error.
+	fmt.Println("\n--- declared-table Trans-SI (§4.3) ---")
+	db := hybridgc.MustOpen(hybridgc.Config{})
+	defer db.Close()
+	a, _ := db.CreateTable("DECLARED")
+	bTid, _ := db.CreateTable("UNDECLARED")
+	var rid hybridgc.RID
+	db.Exec(hybridgc.StmtSI, nil, func(tx *hybridgc.Tx) error {
+		var err error
+		rid, err = tx.Insert(a, []byte("x"))
+		if err != nil {
+			return err
+		}
+		_, err = tx.Insert(bTid, []byte("y"))
+		return err
+	})
+	tx := db.Begin(hybridgc.TransSI, a)
+	defer tx.Abort()
+	if _, err := tx.Get(a, rid); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("read from declared table: ok")
+	if _, err := tx.Get(bTid, 1); err != nil {
+		fmt.Printf("read from undeclared table: %v (as the paper specifies)\n", err)
+	}
+}

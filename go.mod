@@ -1,0 +1,3 @@
+module hybridgc
+
+go 1.22

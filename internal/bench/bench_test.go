@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickSuite() *Suite {
+	return NewSuite(SuiteConfig{Quick: true})
+}
+
+func TestFiguresList(t *testing.T) {
+	ids := Figures()
+	if len(ids) != 11 {
+		t.Fatalf("expected 10 figures + 1 extension, got %v", ids)
+	}
+	s := quickSuite()
+	if _, err := s.Run("fig99"); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+}
+
+func TestCursorFigures(t *testing.T) {
+	s := quickSuite()
+	for _, id := range []string{"fig10", "fig11", "fig12", "fig13"} {
+		rep, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		var buf bytes.Buffer
+		if _, err := rep.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		// fig11 breaks down by collector (GT/TG/SI); the others compare the
+		// GT / GT+TG / HG configurations.
+		wantLabel := "GT+TG"
+		if id == "fig11" {
+			wantLabel = "SI"
+		}
+		if !strings.Contains(out, rep.ID) || !strings.Contains(out, wantLabel) {
+			t.Fatalf("%s report incomplete:\n%s", id, out)
+		}
+	}
+	// Figures 10-13 share one experiment: the cursor runs exactly once per
+	// mode, so the cached map is reused.
+	if s.cursorRes == nil {
+		t.Fatal("cursor results not cached")
+	}
+}
+
+func TestFetchFigures(t *testing.T) {
+	s := quickSuite()
+	for _, id := range []string{"fig14", "fig15"} {
+		rep, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func TestTransFigures(t *testing.T) {
+	s := quickSuite()
+	for _, id := range []string{"fig16", "fig17"} {
+		if _, err := s.Run(id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	rep, _ := s.Fig16()
+	if len(rep.Rows) != 3 {
+		t.Fatalf("fig16 needs one row per mode: %v", rep.Rows)
+	}
+}
+
+func TestSweepFigures(t *testing.T) {
+	s := quickSuite()
+	for _, id := range []string{"fig18", "fig19"} {
+		rep, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Rows) != 2 { // quick mode sweeps two multipliers
+			t.Fatalf("%s rows = %v", id, rep.Rows)
+		}
+		if len(rep.Rows[0]) != 4 {
+			t.Fatalf("%s row width = %v", id, rep.Rows[0])
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{
+		ID:     "figX",
+		Title:  "test",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"figX", "a note", "1", "4"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestExt1PartitionScope(t *testing.T) {
+	s := quickSuite()
+	rep, err := s.Run("ext1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 2 {
+		t.Fatalf("ext1 series = %d", len(rep.Series))
+	}
+	// The partition-scoped run must end with fewer live versions than the
+	// table-scoped run (TG reclaims the unpinned partitions).
+	tableScoped := rep.Series[0].Series.Last()
+	partScoped := rep.Series[1].Series.Last()
+	if partScoped >= tableScoped {
+		t.Fatalf("partition scope (%0.f) should beat table scope (%0.f)", partScoped, tableScoped)
+	}
+}

@@ -1,0 +1,136 @@
+// Package bench regenerates every figure of the paper's evaluation section
+// (§5) on top of the workload driver. Figures that the paper derives from
+// one experiment share one run here too: Figures 10-13 come from the
+// long-duration-cursor run, Figures 14-15 from the incremental-FETCH run,
+// Figures 16-17 from the Trans-SI run, and Figures 18-19 from the
+// invocation-period sweeps. Absolute numbers differ from the paper's
+// 60-core testbed; the shapes — who wins, by what factor, where the curves
+// bend — are what the reports surface.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"hybridgc/internal/metrics"
+)
+
+// LabeledSeries pairs a series with its legend label (usually a GC mode).
+type LabeledSeries struct {
+	Label  string
+	Series metrics.Series
+}
+
+// Report is one regenerated figure: titled series and/or a table, plus
+// free-form notes stating the expected shape from the paper.
+type Report struct {
+	ID     string
+	Title  string
+	Series []LabeledSeries
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// maxSeriesRows bounds how many time points a printed series shows; longer
+// series are downsampled evenly.
+const maxSeriesRows = 24
+
+// WriteTo renders the report as aligned text.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	if len(r.Series) > 0 {
+		r.writeSeries(&b)
+	}
+	if len(r.Rows) > 0 {
+		writeTable(&b, r.Header, r.Rows)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// writeSeries prints the labeled series side by side, sampled on the first
+// series' time axis.
+func (r *Report) writeSeries(b *strings.Builder) {
+	header := append([]string{"t"}, make([]string, len(r.Series))...)
+	for i, s := range r.Series {
+		header[i+1] = s.Label
+	}
+	longest := 0
+	for _, s := range r.Series {
+		if len(s.Series.Points) > longest {
+			longest = len(s.Series.Points)
+		}
+	}
+	if longest == 0 {
+		return
+	}
+	step := 1
+	if longest > maxSeriesRows {
+		step = (longest + maxSeriesRows - 1) / maxSeriesRows
+	}
+	var rows [][]string
+	for i := 0; i < longest; i += step {
+		row := make([]string, len(r.Series)+1)
+		for j, s := range r.Series {
+			pts := s.Series.Points
+			if i < len(pts) {
+				if row[0] == "" {
+					row[0] = fmtDur(pts[i].Elapsed)
+				}
+				row[j+1] = fmt.Sprintf("%.1f", pts[i].Value)
+			} else {
+				row[j+1] = "-"
+			}
+		}
+		if row[0] == "" {
+			row[0] = "-"
+		}
+		rows = append(rows, row)
+	}
+	writeTable(b, header, rows)
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}
+
+// writeTable renders an aligned text table.
+func writeTable(b *strings.Builder, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	b.WriteByte('\n')
+}

@@ -1,0 +1,274 @@
+package colstore
+
+import (
+	"sync/atomic"
+
+	"hybridgc/internal/mvcc"
+	"hybridgc/internal/ts"
+	"hybridgc/internal/txn"
+)
+
+// recordRef adapts one column-store row slot to the version space's record
+// handle: image migration decomposes the settled row image into the column
+// vectors (the delta-to-main movement of a column store), and dropping a
+// record clears its presence bit.
+type recordRef struct {
+	t   *Table
+	rid ts.RID
+	// versioned mirrors the row-store is_versioned flag.
+	versioned atomic.Bool
+}
+
+// InstallImage implements mvcc.RecordRef.
+func (r *recordRef) InstallImage(img []byte) {
+	row, err := decodeRow(r.t.schema, img)
+	if err != nil {
+		// A corrupt image can only come from an engine bug; losing it would
+		// silently corrupt the table, so fail loudly.
+		panic("colstore: migrating undecodable image: " + err.Error())
+	}
+	r.t.setRow(r.rid, row)
+}
+
+// DropRecord implements mvcc.RecordRef.
+func (r *recordRef) DropRecord() { r.t.clearRow(r.rid) }
+
+// SetVersioned implements mvcc.RecordRef.
+func (r *recordRef) SetVersioned(v bool) { r.versioned.Store(v) }
+
+// slot converts a RID to its vector index.
+func slot(rid ts.RID) int { return int(rid) - 1 }
+
+// setRow writes a row image into the column vectors.
+func (t *Table) setRow(rid ts.RID, row Row) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := slot(rid)
+	t.growLocked(s + 1)
+	for i, c := range t.cols {
+		c.set(s, row[i])
+	}
+	t.present[s] = true
+}
+
+// clearRow removes a row from main storage.
+func (t *Table) clearRow(rid ts.RID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s := slot(rid); s >= 0 && s < len(t.present) {
+		t.present[s] = false
+	}
+}
+
+func (t *Table) growLocked(n int) {
+	for len(t.present) < n {
+		t.present = append(t.present, false)
+	}
+	for _, c := range t.cols {
+		c.grow(n)
+	}
+}
+
+// mainRow reads a row from the column vectors, if present.
+func (t *Table) mainRow(rid ts.RID) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := slot(rid)
+	if s < 0 || s >= len(t.present) || !t.present[s] {
+		return nil, false
+	}
+	row := make(Row, len(t.cols))
+	for i, c := range t.cols {
+		row[i] = c.get(s)
+	}
+	return row, true
+}
+
+// ref returns (creating) the record handle for rid.
+func (t *Table) ref(rid ts.RID) *recordRef {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.refs == nil {
+		t.refs = make(map[ts.RID]*recordRef)
+	}
+	if r, ok := t.refs[rid]; ok {
+		return r
+	}
+	r := &recordRef{t: t, rid: rid}
+	t.refs[rid] = r
+	return r
+}
+
+// Insert creates a new row inside tx and returns its RID. The row image
+// lives in the version space until garbage collection settles it into the
+// column vectors.
+func (s *Store) Insert(tx *txn.Txn, t *Table, row Row) (ts.RID, error) {
+	img, err := encodeRow(t.schema, row)
+	if err != nil {
+		return 0, err
+	}
+	rid := ts.RID(t.nextRID.Add(1))
+	v := mvcc.NewVersion(mvcc.OpInsert, ts.RecordKey{Table: t.ID, RID: rid}, img, tx.Context())
+	if _, err := s.space.Prepend(t.ref(rid), v, tx.ConflictCheck()); err != nil {
+		return 0, err
+	}
+	tx.Context().Add(v)
+	return rid, nil
+}
+
+// Update replaces a row inside tx.
+func (s *Store) Update(tx *txn.Txn, t *Table, rid ts.RID, row Row) error {
+	return s.write(tx, t, rid, mvcc.OpUpdate, row)
+}
+
+// Delete removes a row inside tx.
+func (s *Store) Delete(tx *txn.Txn, t *Table, rid ts.RID) error {
+	return s.write(tx, t, rid, mvcc.OpDelete, nil)
+}
+
+func (s *Store) write(tx *txn.Txn, t *Table, rid ts.RID, op mvcc.OpType, row Row) error {
+	at, release := s.stmtSnap(tx)
+	_, ok := s.readAt(t, rid, at, tx.MaybeContext())
+	release()
+	if !ok {
+		return ErrNotFound
+	}
+	var img []byte
+	if op != mvcc.OpDelete {
+		var err error
+		img, err = encodeRow(t.schema, row)
+		if err != nil {
+			return err
+		}
+	}
+	v := mvcc.NewVersion(op, ts.RecordKey{Table: t.ID, RID: rid}, img, tx.Context())
+	if _, err := s.space.Prepend(t.ref(rid), v, tx.ConflictCheck()); err != nil {
+		return err
+	}
+	tx.Context().Add(v)
+	return nil
+}
+
+// stmtSnap returns the read timestamp for one operation of tx and a release
+// function: the transaction snapshot under Trans-SI, or a freshly registered
+// statement snapshot under Stmt-SI (registration is what keeps concurrent
+// garbage collection from reclaiming what the statement reads).
+func (s *Store) stmtSnap(tx *txn.Txn) (ts.CID, func()) {
+	if snap := tx.Snapshot(); snap != nil {
+		return snap.TS(), func() {}
+	}
+	sn := s.m.AcquireSnapshot(txn.KindStatement, nil)
+	return sn.TS(), sn.Release
+}
+
+// Get reads one row as visible to tx.
+func (s *Store) Get(tx *txn.Txn, t *Table, rid ts.RID) (Row, error) {
+	at, release := s.stmtSnap(tx)
+	defer release()
+	row, ok := s.readAt(t, rid, at, tx.MaybeContext())
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return row, nil
+}
+
+// readAt resolves the row visible at a timestamp: chain first (the delta),
+// columnar main as fallback.
+func (s *Store) readAt(t *Table, rid ts.RID, at ts.CID, own *mvcc.TransContext) (Row, bool) {
+	if ch := s.space.HT.Get(ts.RecordKey{Table: t.ID, RID: rid}); ch != nil {
+		if v, _ := ch.VisibleAs(at, own); v != nil {
+			if v.Op == mvcc.OpDelete {
+				return nil, false
+			}
+			row, err := decodeRow(t.schema, v.Payload)
+			if err != nil {
+				return nil, false
+			}
+			return row, true
+		}
+	}
+	return t.mainRow(rid)
+}
+
+// ScanColumn visits one column's value for every row visible at the
+// snapshot of tx, in RID order. Rows whose chain has been fully collected
+// are served straight from the vector — no decoding — which is the
+// columnar fast path the store exists for.
+func (s *Store) ScanColumn(tx *txn.Txn, t *Table, col int, fn func(rid ts.RID, v Value) bool) error {
+	if col < 0 || col >= len(t.cols) {
+		return ErrSchemaMismatch
+	}
+	at, release := s.stmtSnap(tx)
+	defer release()
+	own := tx.MaybeContext()
+	max := ts.RID(t.nextRID.Load())
+	for rid := ts.RID(1); rid <= max; rid++ {
+		// Delta lookup only when a chain exists for the row.
+		if ch := s.space.HT.Get(ts.RecordKey{Table: t.ID, RID: rid}); ch != nil {
+			if v, _ := ch.VisibleAs(at, own); v != nil {
+				if v.Op == mvcc.OpDelete {
+					continue
+				}
+				row, err := decodeRow(t.schema, v.Payload)
+				if err != nil {
+					return err
+				}
+				if !fn(rid, row[col]) {
+					return nil
+				}
+				continue
+			}
+		}
+		// Columnar fast path.
+		t.mu.RLock()
+		sl := slot(rid)
+		ok := sl < len(t.present) && t.present[sl]
+		var v Value
+		if ok {
+			v = t.cols[col].get(sl)
+		}
+		t.mu.RUnlock()
+		if ok && !fn(rid, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// SumInt64 computes the sum of an Int64 column over the rows visible to tx —
+// the archetypal columnar aggregate.
+func (s *Store) SumInt64(tx *txn.Txn, t *Table, col int) (int64, error) {
+	if col < 0 || col >= len(t.schema.Types) || t.schema.Types[col] != Int64 {
+		return 0, ErrSchemaMismatch
+	}
+	var sum int64
+	err := s.ScanColumn(tx, t, col, func(_ ts.RID, v Value) bool {
+		sum += v.I
+		return true
+	})
+	return sum, err
+}
+
+// DictCardinality reports the dictionary size of a String column (how many
+// distinct values the encoder has seen).
+func (t *Table) DictCardinality(col int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if sc, ok := t.cols[col].(*stringColumn); ok {
+		return sc.DictSize()
+	}
+	return 0
+}
+
+// SettledRows counts rows currently served from columnar main storage.
+func (t *Table) SettledRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, p := range t.present {
+		if p {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,475 @@
+// Package core is the database engine: it assembles the table space, the
+// version space, the transaction manager and HybridGC into the public API —
+// an in-memory MVCC row store in the shape of the SAP HANA row store the
+// paper describes, supporting statement-level and transaction-level snapshot
+// isolation, long-lived cursors with incremental FETCH, declared-table
+// transactions, and pluggable garbage collection.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"hybridgc/internal/gc"
+	"hybridgc/internal/mvcc"
+	"hybridgc/internal/sts"
+	"hybridgc/internal/table"
+	"hybridgc/internal/ts"
+	"hybridgc/internal/txn"
+	"hybridgc/internal/wal"
+)
+
+// Errors returned by the engine.
+var (
+	ErrTableNotFound  = errors.New("core: table not found")
+	ErrRecordNotFound = errors.New("core: record not found")
+	ErrOutOfScope     = errors.New("core: table not declared by this transaction")
+	ErrCursorClosed   = errors.New("core: cursor is closed")
+	ErrClosed         = errors.New("core: database closed")
+	// ErrSnapshotKilled reports that the watchdog force-closed the
+	// operation's snapshot because it exceeded the configured maximum age —
+	// the paper's workaround for garbage collection blocked by long-lived
+	// cursors or forgotten Trans-SI transactions (§1).
+	ErrSnapshotKilled = errors.New("core: snapshot force-closed by watchdog")
+	// ErrWriteConflict re-exports the transaction layer's conflict error.
+	ErrWriteConflict = txn.ErrWriteConflict
+)
+
+// Config tunes a DB instance.
+type Config struct {
+	// HashBuckets sizes the RID hash table (<=0 selects the default).
+	HashBuckets int
+	// Txn configures group commit.
+	Txn txn.Config
+	// GC sets the collectors' invocation periods; zero periods disable the
+	// corresponding collector. Periodic collection only runs after StartGC.
+	GC gc.Periods
+	// LongLivedThreshold is the table collector's snapshot age cutoff
+	// (<=0 selects the default).
+	LongLivedThreshold time.Duration
+	// AutoGC starts the periodic collectors immediately on Open.
+	AutoGC bool
+	// ForceCloseAge, when positive, arms the snapshot watchdog: cursor and
+	// Trans-SI snapshots older than this are force-closed so garbage
+	// collection can proceed, and the owning client's next operation fails
+	// with ErrSnapshotKilled (§1's conventional workaround 2, implemented in
+	// SAP HANA to handle application developers' mistakes).
+	ForceCloseAge time.Duration
+	// ForceClosePeriod is how often the watchdog checks (default: a quarter
+	// of ForceCloseAge).
+	ForceClosePeriod time.Duration
+	// Persistence, when non-nil, arms write-ahead logging and checkpointing
+	// (§2.1's common persistency). Open recovers the table space from the
+	// directory's checkpoint and log before serving.
+	Persistence *Persistence
+	// CooperativeGC enables Hekaton-style cooperative collection (§6.1's
+	// comparison point): readers that traverse more than
+	// CooperativeThreshold versions hand the chain to a background
+	// reclaimer. The paper argues this pays off less under latest-first
+	// chains — readers usually stop at the head — which
+	// BenchmarkAblationCooperativeGC quantifies.
+	CooperativeGC bool
+	// CooperativeThreshold is the traversal depth that triggers a handoff
+	// (default 8).
+	CooperativeThreshold int
+}
+
+// DB is one in-memory MVCC database instance.
+type DB struct {
+	cat    *table.Catalog
+	space  *mvcc.Space
+	reg    *sts.Registry
+	m      *txn.Manager
+	hybrid *gc.Hybrid
+
+	statements atomic.Int64
+	traversed  atomic.Int64
+	killed     atomic.Int64
+	closed     atomic.Bool
+
+	log        *wal.Log
+	persistDir string
+
+	// Cooperative GC plumbing: readers enqueue long chains, one worker
+	// reclaims them with the current horizons. The channel is never closed
+	// (readers may race with Close); the worker exits on coopQuit.
+	coopCh        chan *mvcc.Chain
+	coopQuit      chan struct{}
+	coopThreshold int
+	coopDone      chan struct{}
+	coopReclaimed atomic.Int64
+
+	watchdogStop chan struct{}
+	watchdogDone chan struct{}
+}
+
+// Open creates a database. With Persistence configured it first recovers the
+// table space from the directory's checkpoint and log, then resumes logging.
+func Open(cfg Config) (*DB, error) {
+	space := mvcc.NewSpace(cfg.HashBuckets)
+	reg := sts.NewRegistry()
+	cat := table.NewCatalog()
+
+	var lg *wal.Log
+	var persistDir string
+	var recovered ts.CID
+	if p := cfg.Persistence; p != nil {
+		var err error
+		recovered, err = recoverInto(cat, p.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("core: recovery: %w", err)
+		}
+		lg, err = wal.Open(wal.Options{Dir: p.Dir, Sync: p.Sync})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Txn.CommitLogger = &walLogger{log: lg}
+		persistDir = p.Dir
+	}
+
+	m := txn.NewManager(space, reg, cfg.Txn)
+	if recovered > 0 {
+		m.SetCommitTS(recovered)
+	}
+	db := &DB{
+		cat:        cat,
+		space:      space,
+		reg:        reg,
+		m:          m,
+		hybrid:     gc.NewHybrid(m, cfg.GC, cfg.LongLivedThreshold),
+		log:        lg,
+		persistDir: persistDir,
+	}
+	db.hybrid.TG.Resolver = db.partitionResolver
+	if cfg.CooperativeGC {
+		db.coopThreshold = cfg.CooperativeThreshold
+		if db.coopThreshold <= 0 {
+			db.coopThreshold = 8
+		}
+		db.coopCh = make(chan *mvcc.Chain, 256)
+		db.coopQuit = make(chan struct{})
+		db.coopDone = make(chan struct{})
+		go db.cooperativeReclaimer()
+	}
+	if cfg.AutoGC {
+		db.hybrid.Start()
+	}
+	if cfg.ForceCloseAge > 0 {
+		period := cfg.ForceClosePeriod
+		if period <= 0 {
+			period = cfg.ForceCloseAge / 4
+		}
+		if period <= 0 {
+			period = time.Millisecond
+		}
+		db.watchdogStop = make(chan struct{})
+		db.watchdogDone = make(chan struct{})
+		go db.watchdog(cfg.ForceCloseAge, period)
+	}
+	return db, nil
+}
+
+// watchdog force-closes cursor and Trans-SI snapshots older than maxAge.
+// Statement snapshots are exempt: they end with their statement and are
+// never the blocker the workaround targets.
+func (db *DB) watchdog(maxAge, period time.Duration) {
+	defer close(db.watchdogDone)
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			for _, s := range db.m.Monitor().Active() {
+				if s.Kind() == txn.KindStatement || s.Age() < maxAge {
+					continue
+				}
+				s.Kill()
+				db.killed.Add(1)
+			}
+		case <-db.watchdogStop:
+			return
+		}
+	}
+}
+
+// SnapshotsKilled returns how many snapshots the watchdog force-closed.
+func (db *DB) SnapshotsKilled() int64 { return db.killed.Load() }
+
+// cooperativeReclaimer drains chains handed over by readers and reclaims
+// them against the current per-table horizon — the cooperative mechanism
+// Hekaton pairs with oldest-first chains (§6.1). It deliberately runs the
+// timestamp decision only; interval work stays with the scheduled SI.
+func (db *DB) cooperativeReclaimer() {
+	defer close(db.coopDone)
+	for {
+		select {
+		case ch := <-db.coopCh:
+			min := db.m.TableHorizon(ch.Key.Table)
+			res := db.space.ReclaimBelow(ch, min)
+			db.coopReclaimed.Add(int64(res.Versions))
+		case <-db.coopQuit:
+			return
+		}
+	}
+}
+
+// CooperativelyReclaimed returns how many versions reader handoffs
+// reclaimed.
+func (db *DB) CooperativelyReclaimed() int64 { return db.coopReclaimed.Load() }
+
+// maybeCooperate hands a chain to the cooperative reclaimer when a read
+// traversed deep enough to suggest reclaimable garbage. Non-blocking: a
+// full queue drops the hint.
+func (db *DB) maybeCooperate(key ts.RecordKey, steps int) {
+	if db.coopCh == nil || steps < db.coopThreshold {
+		return
+	}
+	if ch := db.space.HT.Get(key); ch != nil {
+		select {
+		case db.coopCh <- ch:
+		default:
+		}
+	}
+}
+
+// Close stops garbage collection and the transaction manager. Idempotent.
+func (db *DB) Close() {
+	if !db.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if db.watchdogStop != nil {
+		close(db.watchdogStop)
+		<-db.watchdogDone
+	}
+	db.hybrid.Stop()
+	if db.coopQuit != nil {
+		close(db.coopQuit)
+		<-db.coopDone
+	}
+	db.m.Close()
+	if db.log != nil {
+		// The manager is closed: no commit can log anymore.
+		_ = db.log.Close()
+	}
+}
+
+// GC returns the database's hybrid garbage collector for manual invocation
+// or scheduling control.
+func (db *DB) GC() *gc.Hybrid { return db.hybrid }
+
+// Manager exposes the transaction manager (benchmarks drive alternative
+// collectors through it).
+func (db *DB) Manager() *txn.Manager { return db.m }
+
+// Space exposes the version space for monitoring.
+func (db *DB) Space() *mvcc.Space { return db.space }
+
+// CreateTable registers a new table and returns its ID. With persistence on
+// the DDL is logged before the table becomes usable.
+func (db *DB) CreateTable(name string) (ts.TableID, error) {
+	t, err := db.cat.Create(name)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.logDDL(t.ID, name); err != nil {
+		return 0, fmt.Errorf("core: logging DDL for %q: %w", name, err)
+	}
+	return t.ID, nil
+}
+
+// SetTablePartitions declares a table partitioned into n parts (n >= 2):
+// records map to partitions round-robin by RID, partition-pruned cursors
+// can restrict their snapshot scope to partitions, and the table collector
+// reclaims against per-partition horizons (§4.3's finer-granular semantic
+// optimization).
+func (db *DB) SetTablePartitions(tid ts.TableID, n int) error {
+	tbl, err := db.tableByID(tid)
+	if err != nil {
+		return err
+	}
+	if n < 2 {
+		return fmt.Errorf("core: partition count %d < 2", n)
+	}
+	tbl.SetPartitions(n)
+	return nil
+}
+
+// TablePartitions returns a table's partition count (0 = unpartitioned or
+// unknown table).
+func (db *DB) TablePartitions(tid ts.TableID) int {
+	if tbl := db.cat.ByID(tid); tbl != nil {
+		return tbl.Partitions()
+	}
+	return 0
+}
+
+// PartitionOf reports a record's partition when its table is partitioned.
+func (db *DB) PartitionOf(key ts.RecordKey) (ts.PartitionID, bool) {
+	return db.partitionResolver(key)
+}
+
+// partitionResolver maps records of partitioned tables to their partition
+// for the table collector.
+func (db *DB) partitionResolver(key ts.RecordKey) (ts.PartitionID, bool) {
+	tbl := db.cat.ByID(key.Table)
+	if tbl == nil || tbl.Partitions() == 0 {
+		return 0, false
+	}
+	return tbl.PartitionOf(key.RID), true
+}
+
+// TableID resolves a table name, returning 0 when absent.
+func (db *DB) TableID(name string) ts.TableID {
+	if t := db.cat.ByName(name); t != nil {
+		return t.ID
+	}
+	return 0
+}
+
+// TableIDs resolves several table names at once (convenience for declaring
+// transaction scopes). Unknown names yield an error.
+func (db *DB) TableIDs(names ...string) ([]ts.TableID, error) {
+	out := make([]ts.TableID, len(names))
+	for i, n := range names {
+		id := db.TableID(n)
+		if id == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrTableNotFound, n)
+		}
+		out[i] = id
+	}
+	return out, nil
+}
+
+// Tables lists the catalog's table names in creation order.
+func (db *DB) Tables() []string {
+	ts := db.cat.Tables()
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}
+
+func (db *DB) tableByID(id ts.TableID) (*table.Table, error) {
+	if t := db.cat.ByID(id); t != nil {
+		return t, nil
+	}
+	return nil, ErrTableNotFound
+}
+
+// Stats is a point-in-time view of the engine, covering the indicators the
+// paper's evaluation plots: active versions, hash collision state,
+// statement throughput input, snapshot population and the commit timestamp
+// range of Figure 2.
+type Stats struct {
+	Statements        int64
+	VersionsLive      int64
+	VersionsLiveBytes int64
+	VersionsCreated   int64
+	VersionsReclaimed int64
+	VersionsMigrated  int64
+	VersionsTraversed int64
+	Hash              mvcc.HashStats
+	ActiveSnapshots   int
+	CurrentCID        ts.CID
+	GlobalHorizon     ts.CID
+	// ActiveCIDRange is CurrentCID minus the oldest active snapshot
+	// timestamp — the "Active Commit ID Range" indicator of Figure 2.
+	ActiveCIDRange ts.CID
+	Txn            txn.Stats
+	GroupListLen   int
+}
+
+// Stats gathers current engine statistics.
+func (db *DB) Stats() Stats {
+	st := Stats{
+		Statements:        db.statements.Load(),
+		VersionsLive:      db.space.Live(),
+		VersionsLiveBytes: db.space.LiveBytes(),
+		VersionsCreated:   db.space.Created(),
+		VersionsReclaimed: db.space.ReclaimedTotal(),
+		VersionsMigrated:  db.space.MigratedTotal(),
+		VersionsTraversed: db.traversed.Load(),
+		Hash:              db.space.HT.Stats(),
+		ActiveSnapshots:   db.m.Monitor().ActiveCount(),
+		CurrentCID:        db.m.CurrentTS(),
+		GlobalHorizon:     db.m.GlobalHorizon(),
+		Txn:               db.m.Stats(),
+		GroupListLen:      db.space.Groups.Len(),
+	}
+	if oldest, ok := db.m.Monitor().OldestTS(); ok {
+		st.ActiveCIDRange = st.CurrentCID - oldest
+	}
+	return st
+}
+
+// StatementCount returns the number of committed statements so far (the
+// throughput numerator of Figures 12, 18 and 19).
+func (db *DB) StatementCount() int64 { return db.statements.Load() }
+
+// ReadAt resolves one record's image at an explicit snapshot timestamp,
+// without registering a snapshot. The timestamp must be protected by the
+// caller — either a snapshot the caller still holds, or the current commit
+// timestamp — otherwise garbage collection may concurrently reshape what
+// the read observes. Intended for diagnostics and the model-checking
+// harness; applications read through transactions and cursors.
+func (db *DB) ReadAt(tid ts.TableID, rid ts.RID, at ts.CID) ([]byte, bool) {
+	tbl := db.cat.ByID(tid)
+	if tbl == nil {
+		return nil, false
+	}
+	return db.readRecord(tbl, rid, at, nil, nil)
+}
+
+// ScanCountAt counts the records visible at an explicit snapshot timestamp.
+// The same protection caveat as ReadAt applies.
+func (db *DB) ScanCountAt(tid ts.TableID, at ts.CID) int {
+	tbl := db.cat.ByID(tid)
+	if tbl == nil {
+		return 0
+	}
+	n := 0
+	tbl.ForEach(func(rec *table.Record) bool {
+		if _, ok := db.readRecord(tbl, rec.Key().RID, at, nil, nil); ok {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// readRecord resolves the image of one record at snapshot timestamp at,
+// following §2.2's read path: consult the is_versioned flag, traverse the
+// version chain latest-first (uncommitted versions owned by own are visible
+// — a transaction sees its own writes), fall back to the table-space image.
+// It accounts chain traversal steps (Figure 15's metric) into the engine
+// counter and the optional per-operation counter.
+func (db *DB) readRecord(tbl *table.Table, rid ts.RID, at ts.CID, own *mvcc.TransContext, traversed *int64) ([]byte, bool) {
+	rec := tbl.Get(rid)
+	if rec == nil {
+		return nil, false
+	}
+	if rec.Versioned() {
+		if ch := db.space.HT.Get(ts.RecordKey{Table: tbl.ID, RID: rid}); ch != nil {
+			v, steps := ch.VisibleAs(at, own)
+			db.traversed.Add(int64(steps))
+			if traversed != nil {
+				*traversed += int64(steps)
+			}
+			db.maybeCooperate(ts.RecordKey{Table: tbl.ID, RID: rid}, steps)
+			if v != nil {
+				if v.Op == mvcc.OpDelete {
+					return nil, false
+				}
+				return v.Payload, true
+			}
+		}
+	}
+	img := rec.Image()
+	if img == nil {
+		return nil, false
+	}
+	return img, true
+}

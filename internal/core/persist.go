@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hybridgc/internal/mvcc"
+	"hybridgc/internal/table"
+	"hybridgc/internal/ts"
+	"hybridgc/internal/txn"
+	"hybridgc/internal/wal"
+)
+
+// Persistence configures the common persistency of §2.1: write-ahead
+// logging of commit groups and DDL, plus checkpointing of the table space.
+type Persistence struct {
+	// Dir is the directory holding log segments and the checkpoint.
+	Dir string
+	// Sync fsyncs the log on every commit group (full durability); without
+	// it, records are flushed to the OS but not synced.
+	Sync bool
+}
+
+// ErrNoPersistence is returned by Checkpoint on an in-memory-only database.
+var ErrNoPersistence = errors.New("core: persistence not configured")
+
+// walLogger adapts the WAL to the transaction manager's CommitLogger hook.
+type walLogger struct {
+	log *wal.Log
+}
+
+// LogCommit implements txn.CommitLogger: it bundles every operation of every
+// member transaction, in creation order, with the group CID into one log
+// record and makes it durable before the committer publishes the group.
+func (w *walLogger) LogCommit(cid ts.CID, members []*mvcc.TransContext) error {
+	rec := &wal.Record{Kind: wal.KindGroup, CID: cid}
+	for _, tc := range members {
+		for _, v := range tc.Versions() {
+			rec.Ops = append(rec.Ops, wal.Op{
+				Op: v.Op, Table: v.Key.Table, RID: v.Key.RID, Payload: v.Payload,
+			})
+		}
+	}
+	return w.log.Append(rec)
+}
+
+// recover rebuilds the table space from the checkpoint (if any) and the log,
+// returning the recovered commit timestamp. Recovered state lives entirely
+// in the table space: after a restart no snapshot exists, so every row's
+// single post-image is exactly what MVCC requires.
+func recoverInto(cat *table.Catalog, dir string) (ts.CID, error) {
+	recovered := ts.CID(0)
+	ck, err := wal.ReadCheckpoint(dir)
+	switch {
+	case err == nil:
+		recovered = ck.CID
+		for _, t := range ck.Tables {
+			tbl, err := cat.Restore(t.ID, t.Name)
+			if err != nil {
+				return 0, err
+			}
+			for _, r := range t.Records {
+				rec, err := tbl.CreateRecord(r.RID)
+				if err != nil {
+					return 0, err
+				}
+				rec.InstallImage(r.Image)
+			}
+			tbl.EnsureNextRID(t.NextRID)
+		}
+	case errors.Is(err, wal.ErrNoCheckpoint):
+		// Cold start or checkpoint-less log: replay everything.
+	default:
+		return 0, err
+	}
+
+	err = wal.ReadAll(dir, func(r *wal.Record) error {
+		switch r.Kind {
+		case wal.KindDDL:
+			if cat.ByID(r.TableID) != nil {
+				return nil // covered by the checkpoint
+			}
+			_, err := cat.Restore(r.TableID, r.TableName)
+			return err
+		case wal.KindGroup:
+			if r.CID <= recovered {
+				return nil // covered by the checkpoint
+			}
+			for _, op := range r.Ops {
+				if err := replayOp(cat, op); err != nil {
+					return fmt.Errorf("replaying CID %d: %w", r.CID, err)
+				}
+			}
+			if r.CID > recovered {
+				recovered = r.CID
+			}
+		}
+		return nil
+	})
+	return recovered, err
+}
+
+// replayOp applies one logged operation directly to the table space.
+func replayOp(cat *table.Catalog, op wal.Op) error {
+	tbl := cat.ByID(op.Table)
+	if tbl == nil {
+		return fmt.Errorf("core: log references unknown table %d", op.Table)
+	}
+	switch op.Op {
+	case mvcc.OpInsert:
+		rec, err := tbl.CreateRecord(op.RID)
+		if err != nil {
+			return err
+		}
+		rec.InstallImage(op.Payload)
+		tbl.EnsureNextRID(op.RID)
+		return nil
+	case mvcc.OpUpdate:
+		rec := tbl.Get(op.RID)
+		if rec == nil {
+			return fmt.Errorf("core: log updates missing record %d/%d", op.Table, op.RID)
+		}
+		rec.InstallImage(op.Payload)
+		return nil
+	case mvcc.OpDelete:
+		rec := tbl.Get(op.RID)
+		if rec == nil {
+			return fmt.Errorf("core: log deletes missing record %d/%d", op.Table, op.RID)
+		}
+		rec.DropRecord()
+		return nil
+	default:
+		return fmt.Errorf("core: log contains unknown op %d", op.Op)
+	}
+}
+
+// Checkpoint serializes a transactionally consistent table-space snapshot
+// and prunes the log segments it covers. The sequence is: rotate the log,
+// fence on the group committer (so every record in the closed segments is
+// published), snapshot at the then-current commit timestamp, write the
+// checkpoint atomically, and drop the covered segments.
+func (db *DB) Checkpoint() error {
+	if db.log == nil {
+		return ErrNoPersistence
+	}
+	closedSeq, err := db.log.Rotate()
+	if err != nil {
+		return err
+	}
+	if err := db.m.Barrier(); err != nil {
+		return err
+	}
+	snap := db.m.AcquireSnapshot(txn.KindStatement, nil)
+	defer snap.Release()
+	at := snap.TS()
+
+	ck := &wal.Checkpoint{CID: at}
+	for _, tbl := range db.cat.Tables() {
+		ct := wal.CheckpointTable{ID: tbl.ID, Name: tbl.Name, NextRID: tbl.MaxRID()}
+		max := tbl.MaxRID()
+		for rid := ts.RID(1); rid <= max; rid++ {
+			img, ok := db.readRecord(tbl, rid, at, nil, nil)
+			if !ok {
+				continue
+			}
+			ct.Records = append(ct.Records, wal.CheckpointRecord{
+				RID: rid, Image: append([]byte(nil), img...)})
+		}
+		ck.Tables = append(ck.Tables, ct)
+	}
+	if err := wal.WriteCheckpoint(db.persistDir, ck); err != nil {
+		return err
+	}
+	return wal.RemoveSegmentsThrough(db.persistDir, closedSeq)
+}
+
+// logDDL records a table creation when persistence is on.
+func (db *DB) logDDL(id ts.TableID, name string) error {
+	if db.log == nil {
+		return nil
+	}
+	return db.log.Append(&wal.Record{Kind: wal.KindDDL, TableID: id, TableName: name})
+}

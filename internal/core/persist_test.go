@@ -1,0 +1,249 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"hybridgc/internal/gc"
+	"hybridgc/internal/ts"
+	"hybridgc/internal/txn"
+	"hybridgc/internal/wal"
+)
+
+func openPersistent(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := Open(Config{
+		Txn:         txn.Config{SynchronousPropagation: true},
+		Persistence: &Persistence{Dir: dir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRecoveryFromLogOnly(t *testing.T) {
+	dir := t.TempDir()
+	db := openPersistent(t, dir)
+	tid := mustCreate(t, db, "T")
+	ridA := insert1(t, db, tid, "a1")
+	ridB := insert1(t, db, tid, "b1")
+	update1(t, db, tid, ridA, "a2")
+	if err := db.Exec(txn.StmtSI, nil, func(tx *Tx) error {
+		return tx.Delete(tid, ridB)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lastCID := db.Manager().CurrentTS()
+	db.Close()
+
+	db2 := openPersistent(t, dir)
+	defer db2.Close()
+	tid2 := db2.TableID("T")
+	if tid2 != tid {
+		t.Fatalf("recovered table ID %d != %d", tid2, tid)
+	}
+	if got, err := get1(t, db2, tid2, ridA); err != nil || got != "a2" {
+		t.Fatalf("recovered read = %q, %v", got, err)
+	}
+	if _, err := get1(t, db2, tid2, ridB); !errors.Is(err, ErrRecordNotFound) {
+		t.Fatalf("deleted record resurrected: %v", err)
+	}
+	if ts := db2.Manager().CurrentTS(); ts != lastCID {
+		t.Fatalf("recovered commit timestamp %d, want %d", ts, lastCID)
+	}
+	// New inserts must not collide with recovered RIDs.
+	ridC := insert1(t, db2, tid2, "c1")
+	if ridC == ridA || ridC == ridB {
+		t.Fatalf("RID allocator collided: %d", ridC)
+	}
+}
+
+func TestRecoveryAfterAbortLosesNothing(t *testing.T) {
+	dir := t.TempDir()
+	db := openPersistent(t, dir)
+	tid := mustCreate(t, db, "T")
+	keep := insert1(t, db, tid, "keep")
+	// An aborted transaction must leave no trace in the log.
+	tx := db.Begin(txn.StmtSI)
+	if _, err := tx.Insert(tid, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	db.Close()
+
+	db2 := openPersistent(t, dir)
+	defer db2.Close()
+	if got, _ := get1(t, db2, db2.TableID("T"), keep); got != "keep" {
+		t.Fatalf("committed row lost: %q", got)
+	}
+	n := db2.ScanCountAt(db2.TableID("T"), db2.Manager().CurrentTS())
+	if n != 1 {
+		t.Fatalf("recovered %d rows, want 1 (abort leaked)", n)
+	}
+}
+
+func TestCheckpointPrunesLogAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	db := openPersistent(t, dir)
+	tid := mustCreate(t, db, "T")
+	var rids []ts.RID
+	for i := 0; i < 10; i++ {
+		rids = append(rids, insert1(t, db, tid, fmt.Sprintf("v%d", i)))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-checkpoint segments are gone; post-checkpoint work lands in new ones.
+	segs, err := wal.Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		fi, _ := os.Stat(s.Path)
+		if fi.Size() > 0 {
+			t.Fatalf("segment %s not pruned after checkpoint", s.Path)
+		}
+	}
+	update1(t, db, tid, rids[0], "updated-after-ckpt")
+	db.Close()
+
+	db2 := openPersistent(t, dir)
+	defer db2.Close()
+	tid2 := db2.TableID("T")
+	if got, _ := get1(t, db2, tid2, rids[0]); got != "updated-after-ckpt" {
+		t.Fatalf("post-checkpoint update lost: %q", got)
+	}
+	if got, _ := get1(t, db2, tid2, rids[9]); got != "v9" {
+		t.Fatalf("checkpointed row lost: %q", got)
+	}
+}
+
+func TestCheckpointWithoutPersistenceFails(t *testing.T) {
+	db := openTest(t, Config{})
+	if err := db.Checkpoint(); !errors.Is(err, ErrNoPersistence) {
+		t.Fatalf("Checkpoint on memory-only DB = %v", err)
+	}
+}
+
+func TestRecoveryIgnoresTornTail(t *testing.T) {
+	dir := t.TempDir()
+	db := openPersistent(t, dir)
+	tid := mustCreate(t, db, "T")
+	rid := insert1(t, db, tid, "good")
+	update1(t, db, tid, rid, "better")
+	db.Close()
+
+	// Tear the log's tail: the last record is cut mid-payload, as if the
+	// process died during the write.
+	segs, _ := wal.Segments(dir)
+	last := segs[len(segs)-1].Path
+	b, _ := os.ReadFile(last)
+	if err := os.WriteFile(last, b[:len(b)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openPersistent(t, dir)
+	defer db2.Close()
+	// The torn record (the update) is lost; the insert survives.
+	if got, _ := get1(t, db2, db2.TableID("T"), rid); got != "good" {
+		t.Fatalf("recovered %q, want pre-torn image", got)
+	}
+}
+
+func TestRecoveryVersionSpaceStartsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	db := openPersistent(t, dir)
+	tid := mustCreate(t, db, "T")
+	rid := insert1(t, db, tid, "v")
+	for i := 0; i < 5; i++ {
+		update1(t, db, tid, rid, fmt.Sprintf("v%d", i))
+	}
+	db.Close()
+
+	db2 := openPersistent(t, dir)
+	defer db2.Close()
+	if live := db2.Space().Live(); live != 0 {
+		t.Fatalf("recovered version space holds %d versions, want 0 (single post-image per row)", live)
+	}
+	if got, _ := get1(t, db2, db2.TableID("T"), rid); got != "v4" {
+		t.Fatalf("latest image = %q", got)
+	}
+}
+
+func TestPersistentWorkloadWithGCSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{
+		Txn:                txn.Config{SynchronousPropagation: true},
+		Persistence:        &Persistence{Dir: dir},
+		GC:                 gc.Periods{GT: time.Millisecond, TG: 2 * time.Millisecond, SI: 4 * time.Millisecond},
+		LongLivedThreshold: time.Millisecond,
+		AutoGC:             true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := mustCreate(t, db, "T")
+	var rids []ts.RID
+	for i := 0; i < 8; i++ {
+		rids = append(rids, insert1(t, db, tid, "init"))
+	}
+	want := make(map[ts.RID]string)
+	for round := 0; round < 30; round++ {
+		rid := rids[round%len(rids)]
+		img := fmt.Sprintf("r%d", round)
+		update1(t, db, tid, rid, img)
+		want[rid] = img
+		if round%10 == 5 {
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	db.Close()
+
+	db2 := openPersistent(t, dir)
+	defer db2.Close()
+	for _, rid := range rids {
+		img, _ := get1(t, db2, db2.TableID("T"), rid)
+		expect := want[rid]
+		if expect == "" {
+			expect = "init"
+		}
+		if img != expect {
+			t.Fatalf("rid %d recovered %q, want %q", rid, img, expect)
+		}
+	}
+}
+
+func TestDDLAfterCheckpointRecovered(t *testing.T) {
+	dir := t.TempDir()
+	db := openPersistent(t, dir)
+	mustCreate(t, db, "BEFORE")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	after := mustCreate(t, db, "AFTER")
+	rid := insert1(t, db, after, "row")
+	db.Close()
+
+	db2 := openPersistent(t, dir)
+	defer db2.Close()
+	if db2.TableID("BEFORE") == 0 {
+		t.Fatal("checkpointed table lost")
+	}
+	got := db2.TableID("AFTER")
+	if got != after {
+		t.Fatalf("post-checkpoint table ID %d, want %d", got, after)
+	}
+	if img, _ := get1(t, db2, got, rid); img != "row" {
+		t.Fatalf("post-checkpoint row = %q", img)
+	}
+	// The recovered catalog allocates fresh IDs past the recovered ones.
+	third := mustCreate(t, db2, "THIRD")
+	if third <= after {
+		t.Fatalf("new table ID %d collides with recovered %d", third, after)
+	}
+}

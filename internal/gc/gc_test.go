@@ -1,0 +1,624 @@
+package gc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hybridgc/internal/mvcc"
+	"hybridgc/internal/sts"
+	"hybridgc/internal/table"
+	"hybridgc/internal/ts"
+	"hybridgc/internal/txn"
+)
+
+// env wires a catalog, version space and transaction manager the way the
+// engine does, so collectors are tested against the real write path.
+type env struct {
+	t     *testing.T
+	cat   *table.Catalog
+	space *mvcc.Space
+	m     *txn.Manager
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	space := mvcc.NewSpace(1 << 10)
+	m := txn.NewManager(space, sts.NewRegistry(), txn.Config{SynchronousPropagation: true})
+	t.Cleanup(m.Close)
+	return &env{t: t, cat: table.NewCatalog(), space: space, m: m}
+}
+
+func (e *env) createTable(name string) *table.Table {
+	tbl, err := e.cat.Create(name)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	return tbl
+}
+
+func (e *env) write(op mvcc.OpType, tbl *table.Table, rid ts.RID, img string) ts.RID {
+	e.t.Helper()
+	tx := e.m.Begin(txn.StmtSI, nil)
+	var rec *table.Record
+	if op == mvcc.OpInsert {
+		rid = tbl.AllocRID()
+		var err error
+		rec, err = tbl.CreateRecord(rid)
+		if err != nil {
+			e.t.Fatal(err)
+		}
+	} else {
+		rec = tbl.Get(rid)
+		if rec == nil {
+			e.t.Fatalf("no record %d in %s", rid, tbl.Name)
+		}
+	}
+	var payload []byte
+	if op != mvcc.OpDelete {
+		payload = []byte(img)
+	}
+	v := mvcc.NewVersion(op, ts.RecordKey{Table: tbl.ID, RID: rid}, payload, tx.Context())
+	tx.Context().Add(v)
+	if _, err := e.space.Prepend(rec, v, tx.ConflictCheck()); err != nil {
+		e.t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		e.t.Fatal(err)
+	}
+	return rid
+}
+
+func (e *env) insert(tbl *table.Table, img string) ts.RID {
+	return e.write(mvcc.OpInsert, tbl, 0, img)
+}
+
+func (e *env) update(tbl *table.Table, rid ts.RID, img string) {
+	e.write(mvcc.OpUpdate, tbl, rid, img)
+}
+
+// read resolves the record image visible at snapshot timestamp at, following
+// the engine's read path: is_versioned flag, chain traversal, table-space
+// fallback.
+func (e *env) read(tbl *table.Table, rid ts.RID, at ts.CID) (string, bool) {
+	rec := tbl.Get(rid)
+	if rec == nil {
+		return "", false
+	}
+	if rec.Versioned() {
+		if ch := e.space.HT.Get(ts.RecordKey{Table: tbl.ID, RID: rid}); ch != nil {
+			if v, _ := ch.Visible(at); v != nil {
+				if v.Op == mvcc.OpDelete {
+					return "", false
+				}
+				return string(v.Payload), true
+			}
+		}
+	}
+	img := rec.Image()
+	if img == nil {
+		return "", false
+	}
+	return string(img), true
+}
+
+func TestGTReclaimsWholeGroupsBelowHorizon(t *testing.T) {
+	e := newEnv(t)
+	tbl := e.createTable("T")
+	rid := e.insert(tbl, "v0")
+	for i := 1; i <= 4; i++ {
+		e.update(tbl, rid, fmt.Sprintf("v%d", i))
+	}
+	if e.space.Live() != 5 {
+		t.Fatalf("live = %d", e.space.Live())
+	}
+	gt := NewGroupTimestamp(e.m)
+	st := gt.Collect()
+	if st.Versions != 5 {
+		t.Fatalf("reclaimed %d versions, want 5: %s", st.Versions, st)
+	}
+	if st.Groups != 5 {
+		t.Fatalf("removed %d groups, want 5", st.Groups)
+	}
+	if e.space.Live() != 0 || e.space.Groups.Len() != 0 {
+		t.Fatalf("live=%d groups=%d after full reclaim", e.space.Live(), e.space.Groups.Len())
+	}
+	// The latest image must have migrated to the table space.
+	if img, ok := e.read(tbl, rid, e.m.CurrentTS()); !ok || img != "v4" {
+		t.Fatalf("read after GC = %q,%v want v4", img, ok)
+	}
+	if gt.Totals.Versions() != 5 || gt.Totals.Runs() != 1 {
+		t.Fatal("totals not recorded")
+	}
+}
+
+func TestGTStopsAtPinnedSnapshot(t *testing.T) {
+	e := newEnv(t)
+	tbl := e.createTable("T")
+	rid := e.insert(tbl, "v0")
+	e.update(tbl, rid, "v1")
+	long := e.m.AcquireSnapshot(txn.KindCursor, []ts.TableID{tbl.ID})
+	defer long.Release()
+	pin := long.TS()
+	for i := 2; i <= 5; i++ {
+		e.update(tbl, rid, fmt.Sprintf("v%d", i))
+	}
+
+	gt := NewGroupTimestamp(e.m)
+	st := gt.Collect()
+	// Only v0 is below the pin (v1 is the newest candidate and is the pinned
+	// snapshot's visible image — it survives as the migrated boundary).
+	if st.Horizon != pin {
+		t.Fatalf("horizon = %d, want %d", st.Horizon, pin)
+	}
+	if img, ok := e.read(tbl, rid, pin); !ok || img != "v1" {
+		t.Fatalf("pinned snapshot reads %q,%v, want v1", img, ok)
+	}
+	// Groups at or above the pin survive.
+	if e.space.Groups.Len() == 0 {
+		t.Fatal("pinned groups must survive")
+	}
+	live := e.space.Live()
+	if live < 5 {
+		t.Fatalf("live = %d; versions above the pin must survive", live)
+	}
+	// After release, everything collapses to the single migrated image.
+	long.Release()
+	gt.Collect()
+	if e.space.Live() != 0 {
+		t.Fatalf("live after release = %d", e.space.Live())
+	}
+	if img, ok := e.read(tbl, rid, e.m.CurrentTS()); !ok || img != "v5" {
+		t.Fatalf("read = %q,%v want v5", img, ok)
+	}
+}
+
+func TestSTMatchesGTOutcome(t *testing.T) {
+	build := func() (*env, *table.Table, ts.RID) {
+		e := newEnv(t)
+		tbl := e.createTable("T")
+		rid := e.insert(tbl, "v0")
+		for i := 1; i <= 9; i++ {
+			e.update(tbl, rid, fmt.Sprintf("v%d", i))
+		}
+		return e, tbl, rid
+	}
+	e1, _, _ := build()
+	e2, _, _ := build()
+	st1 := NewSingleTimestamp(e1.m).Collect()
+	st2 := NewGroupTimestamp(e2.m).Collect()
+	if st1.Versions != st2.Versions {
+		t.Fatalf("ST reclaimed %d, GT %d — must match", st1.Versions, st2.Versions)
+	}
+	if e1.space.Live() != e2.space.Live() {
+		t.Fatalf("live: ST %d vs GT %d", e1.space.Live(), e2.space.Live())
+	}
+}
+
+func TestTableGCUnblocksOtherTables(t *testing.T) {
+	e := newEnv(t)
+	stock := e.createTable("STOCK")
+	orders := e.createTable("ORDERS")
+	sRID := e.insert(stock, "s0")
+	oRID := e.insert(orders, "o0")
+
+	// Long-lived cursor over STOCK only (scope known under Stmt-SI).
+	long := e.m.AcquireSnapshot(txn.KindCursor, []ts.TableID{stock.ID})
+	defer long.Release()
+	pin := long.TS()
+
+	for i := 1; i <= 5; i++ {
+		e.update(stock, sRID, fmt.Sprintf("s%d", i))
+		e.update(orders, oRID, fmt.Sprintf("o%d", i))
+	}
+
+	// GT alone is blocked by the cursor (only pre-pin versions go).
+	gt := NewGroupTimestamp(e.m)
+	gt.Collect()
+	liveAfterGT := e.space.Live()
+	if liveAfterGT < 10 {
+		t.Fatalf("GT must be blocked by the cursor, live=%d", liveAfterGT)
+	}
+
+	// TG discovers the cursor (threshold 0 → immediately long-lived), scopes
+	// it to STOCK, and reclaims the ORDERS versions.
+	tg := NewTableGC(e.m, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	st := tg.Collect()
+	if st.SnapshotsScoped != 1 {
+		t.Fatalf("scoped %d snapshots, want 1", st.SnapshotsScoped)
+	}
+	if st.Versions == 0 {
+		t.Fatal("TG must reclaim the other table's versions")
+	}
+	// ORDERS fully reclaimed to its newest image; STOCK still pinned.
+	if img, ok := e.read(orders, oRID, e.m.CurrentTS()); !ok || img != "o5" {
+		t.Fatalf("orders read = %q,%v", img, ok)
+	}
+	if img, ok := e.read(stock, sRID, pin); !ok || img != "s0" {
+		t.Fatalf("pinned stock read = %q,%v, want s0", img, ok)
+	}
+	// STOCK chain must still hold the pinned history.
+	stockChain := e.space.HT.Get(ts.RecordKey{Table: stock.ID, RID: sRID})
+	if stockChain == nil || stockChain.Len() < 5 {
+		t.Fatal("stock history must survive TG")
+	}
+	// After the cursor closes, a GT pass (horizon considers the now-empty
+	// per-table tracker) drains the rest.
+	long.Release()
+	gt.Collect()
+	if e.space.Live() != 0 {
+		t.Fatalf("live after cursor close = %d", e.space.Live())
+	}
+}
+
+func TestIntervalCollectsBehindPin(t *testing.T) {
+	e := newEnv(t)
+	tbl := e.createTable("T")
+	rid := e.insert(tbl, "v0")
+	long := e.m.AcquireSnapshot(txn.KindCursor, []ts.TableID{tbl.ID})
+	defer long.Release()
+	pin := long.TS()
+	for i := 1; i <= 10; i++ {
+		e.update(tbl, rid, fmt.Sprintf("v%d", i))
+	}
+	// A second snapshot at the current timestamp creates the upper window
+	// bound, standing in for ongoing OLTP statements.
+	cur := e.m.AcquireSnapshot(txn.KindStatement, nil)
+	defer cur.Release()
+
+	si := NewInterval(e.m)
+	st := si.Collect()
+	// Versions v1..v9 sit between the pin and the current snapshot with no
+	// snapshot inside their intervals; all but the newest (v10) are interval
+	// garbage.
+	if st.Versions != 9 {
+		t.Fatalf("SI reclaimed %d, want 9: %s", st.Versions, st)
+	}
+	// Both snapshots still read correctly.
+	if img, ok := e.read(tbl, rid, pin); !ok || img != "v0" {
+		t.Fatalf("pinned read = %q,%v want v0", img, ok)
+	}
+	if img, ok := e.read(tbl, rid, cur.TS()); !ok || img != "v10" {
+		t.Fatalf("current read = %q,%v want v10", img, ok)
+	}
+	// Chain shrank to {v0, v10} (plus nothing else).
+	ch := e.space.HT.Get(ts.RecordKey{Table: tbl.ID, RID: rid})
+	if got := ch.Len(); got != 2 {
+		t.Fatalf("chain length = %d, want 2", got)
+	}
+	// Idempotent.
+	if st := si.Collect(); st.Versions != 0 {
+		t.Fatalf("second SI pass reclaimed %d", st.Versions)
+	}
+}
+
+func TestIntervalRespectsMiddleSnapshot(t *testing.T) {
+	e := newEnv(t)
+	tbl := e.createTable("T")
+	rid := e.insert(tbl, "v0")
+	long := e.m.AcquireSnapshot(txn.KindCursor, []ts.TableID{tbl.ID})
+	defer long.Release()
+	for i := 1; i <= 3; i++ {
+		e.update(tbl, rid, fmt.Sprintf("v%d", i))
+	}
+	mid := e.m.AcquireSnapshot(txn.KindStatement, nil) // pins v3
+	defer mid.Release()
+	for i := 4; i <= 6; i++ {
+		e.update(tbl, rid, fmt.Sprintf("v%d", i))
+	}
+	top := e.m.AcquireSnapshot(txn.KindStatement, nil)
+	defer top.Release()
+
+	midWant, _ := e.read(tbl, rid, mid.TS())
+	NewInterval(e.m).Collect()
+	if img, ok := e.read(tbl, rid, mid.TS()); !ok || img != midWant {
+		t.Fatalf("middle snapshot read changed: %q vs %q", img, midWant)
+	}
+	if img, ok := e.read(tbl, rid, top.TS()); !ok || img != "v6" {
+		t.Fatalf("top read = %q,%v", img, ok)
+	}
+}
+
+func TestGroupIntervalMatchesInterval(t *testing.T) {
+	build := func() (*env, *txn.Snapshot, *txn.Snapshot, *table.Table, ts.RID) {
+		e := newEnv(t)
+		tbl := e.createTable("T")
+		rid := e.insert(tbl, "v0")
+		long := e.m.AcquireSnapshot(txn.KindCursor, []ts.TableID{tbl.ID})
+		for i := 1; i <= 8; i++ {
+			e.update(tbl, rid, fmt.Sprintf("v%d", i))
+		}
+		cur := e.m.AcquireSnapshot(txn.KindStatement, nil)
+		return e, long, cur, tbl, rid
+	}
+	e1, l1, c1, _, _ := build()
+	e2, l2, c2, tbl2, rid2 := build()
+	defer func() { l1.Release(); c1.Release(); l2.Release(); c2.Release() }()
+
+	si := NewInterval(e1.m).Collect()
+	gi := NewGroupInterval(e2.m).Collect()
+	if si.Versions != gi.Versions {
+		t.Fatalf("SI reclaimed %d, GI %d — same garbage set expected", si.Versions, gi.Versions)
+	}
+	// GI preserves reads too.
+	if img, ok := e2.read(tbl2, rid2, l2.TS()); !ok || img != "v0" {
+		t.Fatalf("GI pinned read = %q,%v", img, ok)
+	}
+	if img, ok := e2.read(tbl2, rid2, c2.TS()); !ok || img != "v8" {
+		t.Fatalf("GI current read = %q,%v", img, ok)
+	}
+}
+
+func TestHybridCombinesAll(t *testing.T) {
+	e := newEnv(t)
+	stock := e.createTable("STOCK")
+	orders := e.createTable("ORDERS")
+	sRID := e.insert(stock, "s0")
+	oRID := e.insert(orders, "o0")
+	long := e.m.AcquireSnapshot(txn.KindCursor, []ts.TableID{stock.ID})
+	defer long.Release()
+	for i := 1; i <= 6; i++ {
+		e.update(stock, sRID, fmt.Sprintf("s%d", i))
+		e.update(orders, oRID, fmt.Sprintf("o%d", i))
+	}
+	cur := e.m.AcquireSnapshot(txn.KindStatement, nil)
+	defer cur.Release()
+
+	h := NewHybrid(e.m, Periods{}, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	h.Collect()
+
+	// Orders collapse via TG; stock keeps only the pinned boundary plus the
+	// newest version thanks to SI.
+	if img, ok := e.read(orders, oRID, e.m.CurrentTS()); !ok || img != "o6" {
+		t.Fatalf("orders read = %q,%v", img, ok)
+	}
+	if img, ok := e.read(stock, sRID, long.TS()); !ok || img != "s0" {
+		t.Fatalf("pinned stock read = %q,%v", img, ok)
+	}
+	if img, ok := e.read(stock, sRID, cur.TS()); !ok || img != "s6" {
+		t.Fatalf("current stock read = %q,%v", img, ok)
+	}
+	// GT migrated s0 to the table space (the pin is at the o0 insert's CID,
+	// above the s0 insert), and SI removed every intermediate version, so
+	// only the newest stock version remains in the chain.
+	stockChain := e.space.HT.Get(ts.RecordKey{Table: stock.ID, RID: sRID})
+	if stockChain.Len() != 1 {
+		t.Fatalf("stock chain length = %d, want 1 (newest only)", stockChain.Len())
+	}
+	if h.ReclaimedByTG() == 0 || h.ReclaimedBySI() == 0 {
+		t.Fatalf("per-collector totals: GT=%d TG=%d SI=%d",
+			h.ReclaimedByGT(), h.ReclaimedByTG(), h.ReclaimedBySI())
+	}
+}
+
+func TestHybridScheduler(t *testing.T) {
+	e := newEnv(t)
+	tbl := e.createTable("T")
+	rid := e.insert(tbl, "v0")
+	h := NewHybrid(e.m, Periods{GT: 2 * time.Millisecond, TG: 5 * time.Millisecond, SI: 7 * time.Millisecond}, time.Millisecond)
+	h.Start()
+	h.Start() // idempotent
+	for i := 1; i <= 50; i++ {
+		e.update(tbl, rid, fmt.Sprintf("v%d", i))
+		time.Sleep(300 * time.Microsecond)
+	}
+	deadline := time.Now().Add(time.Second)
+	for e.space.Live() != 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	h.Stop()
+	h.Stop() // idempotent
+	if e.space.Live() != 0 {
+		t.Fatalf("scheduler left %d live versions", e.space.Live())
+	}
+	if img, ok := e.read(tbl, rid, e.m.CurrentTS()); !ok || img != "v50" {
+		t.Fatalf("read = %q,%v", img, ok)
+	}
+	if h.GT.Totals.Runs() == 0 {
+		t.Fatal("GT never ran")
+	}
+}
+
+// TestGCSafetyOracle runs a randomized history and checks, after every
+// collector pass, that every active snapshot still reads exactly what it
+// read before the pass — the fundamental safety property of all collectors.
+func TestGCSafetyOracle(t *testing.T) {
+	e := newEnv(t)
+	tbl := e.createTable("T")
+	var rids []ts.RID
+	for i := 0; i < 8; i++ {
+		rids = append(rids, e.insert(tbl, fmt.Sprintf("r%d-0", i)))
+	}
+	type obs struct {
+		snap *txn.Snapshot
+		view map[ts.RID]string
+	}
+	capture := func(s *txn.Snapshot) obs {
+		view := make(map[ts.RID]string)
+		for _, rid := range rids {
+			if img, ok := e.read(tbl, rid, s.TS()); ok {
+				view[rid] = img
+			}
+		}
+		return obs{snap: s, view: view}
+	}
+	verify := func(o obs, label string) {
+		for _, rid := range rids {
+			img, ok := e.read(tbl, rid, o.snap.TS())
+			want, wantOK := o.view[rid]
+			if ok != wantOK || img != want {
+				t.Fatalf("%s: snapshot %d sees %q/%v for rid %d, expected %q/%v",
+					label, o.snap.TS(), img, ok, rid, want, wantOK)
+			}
+		}
+	}
+
+	collectors := []Collector{
+		NewSingleTimestamp(e.m),
+		NewGroupTimestamp(e.m),
+		NewTableGC(e.m, time.Nanosecond),
+		NewInterval(e.m),
+		NewGroupInterval(e.m),
+	}
+	var held []obs
+	rnd := uint64(12345)
+	next := func(n int) int {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		return int((rnd >> 33) % uint64(n))
+	}
+	for round := 0; round < 60; round++ {
+		// Random writes.
+		for k := 0; k < 5; k++ {
+			rid := rids[next(len(rids))]
+			e.update(tbl, rid, fmt.Sprintf("r%d-%d", rid, round*10+k))
+		}
+		// Randomly open/close snapshots.
+		if len(held) < 4 && next(2) == 0 {
+			held = append(held, capture(e.m.AcquireSnapshot(txn.KindCursor, []ts.TableID{tbl.ID})))
+		}
+		if len(held) > 0 && next(4) == 0 {
+			i := next(len(held))
+			held[i].snap.Release()
+			held = append(held[:i], held[i+1:]...)
+		}
+		// Random collector pass, then verify every held snapshot.
+		c := collectors[next(len(collectors))]
+		c.Collect()
+		for _, o := range held {
+			verify(o, c.Name())
+		}
+	}
+	for _, o := range held {
+		o.snap.Release()
+	}
+}
+
+func TestIntervalFromHashTableMatchesGroups(t *testing.T) {
+	build := func() (*env, func() int64, *Interval) {
+		e := newEnv(t)
+		tbl := e.createTable("T")
+		var rids []ts.RID
+		for i := 0; i < 6; i++ {
+			rids = append(rids, e.insert(tbl, "v0"))
+		}
+		long := e.m.AcquireSnapshot(txn.KindCursor, []ts.TableID{tbl.ID})
+		t.Cleanup(long.Release)
+		for round := 1; round <= 7; round++ {
+			for _, rid := range rids {
+				e.update(tbl, rid, fmt.Sprintf("v%d", round))
+			}
+		}
+		cur := e.m.AcquireSnapshot(txn.KindStatement, nil)
+		t.Cleanup(cur.Release)
+		return e, e.space.Live, NewInterval(e.m)
+	}
+	e1, live1, siGroups := build()
+	_, live2, siHash := build()
+	siHash.FromHashTable = true
+
+	a := siGroups.Collect()
+	b := siHash.Collect()
+	if a.Versions != b.Versions {
+		t.Fatalf("group-reachable SI reclaimed %d, hash-table SI %d", a.Versions, b.Versions)
+	}
+	if live1() != live2() {
+		t.Fatalf("live mismatch: %d vs %d", live1(), live2())
+	}
+	_ = e1
+}
+
+func TestIntervalParallel(t *testing.T) {
+	e := newEnv(t)
+	tbl := e.createTable("T")
+	var rids []ts.RID
+	for i := 0; i < 32; i++ {
+		rids = append(rids, e.insert(tbl, "v0"))
+	}
+	long := e.m.AcquireSnapshot(txn.KindCursor, []ts.TableID{tbl.ID})
+	defer long.Release()
+	for round := 1; round <= 5; round++ {
+		for _, rid := range rids {
+			e.update(tbl, rid, fmt.Sprintf("v%d", round))
+		}
+	}
+	cur := e.m.AcquireSnapshot(txn.KindStatement, nil)
+	defer cur.Release()
+
+	si := NewInterval(e.m)
+	si.Parallelism = 4
+	st := si.Collect()
+	// 32 records x 5 updates: the 4 intermediate update versions of every
+	// record are interval garbage (insert pinned by the cursor, newest kept).
+	if st.Versions != 32*4 {
+		t.Fatalf("parallel SI reclaimed %d, want %d", st.Versions, 32*4)
+	}
+	if st.ChainsScanned != 32 {
+		t.Fatalf("scanned %d chains, want 32", st.ChainsScanned)
+	}
+	// Reads survive.
+	if img, ok := e.read(tbl, rids[7], long.TS()); !ok || img != "v0" {
+		t.Fatalf("pinned read = %q,%v", img, ok)
+	}
+	if img, ok := e.read(tbl, rids[7], cur.TS()); !ok || img != "v5" {
+		t.Fatalf("current read = %q,%v", img, ok)
+	}
+}
+
+// TestRegionsFigure9 validates the Figure 9 region diagnostic: versions
+// split into the group collector's region A (below every snapshot), the
+// table collector's region B (pinned only by scoped snapshots), and the
+// interval collector's region C.
+func TestRegionsFigure9(t *testing.T) {
+	e := newEnv(t)
+	stock := e.createTable("STOCK")
+	orders := e.createTable("ORDERS")
+
+	// Two versions fully below everything (region A once snapshots exist
+	// above them).
+	aRID := e.insert(orders, "a0")
+	e.update(orders, aRID, "a1")
+
+	// A cursor pins STOCK; TG scopes it away from the global tracker.
+	long := e.m.AcquireSnapshot(txn.KindCursor, []ts.TableID{stock.ID})
+	defer long.Release()
+	sRID := e.insert(stock, "s0")
+	e.update(stock, sRID, "s1")
+	e.update(orders, aRID, "a2")
+	cur := e.m.AcquireSnapshot(txn.KindStatement, nil)
+	defer cur.Release()
+	e.update(stock, sRID, "s2")
+
+	// Before scoping: union min == global min == the cursor's ts, so
+	// everything at/above it is region C and below it region A; B is empty.
+	r := CurrentRegions(e.m)
+	if r.B != 0 {
+		t.Fatalf("region B before scoping = %d: %s", r.B, r)
+	}
+	// Only a0 (cid strictly below the cursor's timestamp) is in region A;
+	// a1 committed at the cursor's exact timestamp and is its visible image.
+	if r.A != 1 {
+		t.Fatalf("region A = %d (the strictly-below version): %s", r.A, r)
+	}
+	if r.Total() != e.space.Live() {
+		t.Fatalf("regions total %d != live %d", r.Total(), e.space.Live())
+	}
+
+	// Scope the cursor: versions between the cursor ts and the statement
+	// snapshot move from C to B.
+	long.Handle().ScopeToTables([]ts.TableID{stock.ID})
+	r = CurrentRegions(e.m)
+	if r.B == 0 {
+		t.Fatalf("region B after scoping = 0: %s", r)
+	}
+	if r.Total() != e.space.Live() {
+		t.Fatalf("regions total %d != live %d", r.Total(), e.space.Live())
+	}
+	// GT drains region A; the others remain.
+	NewGroupTimestamp(e.m).Collect()
+	r = CurrentRegions(e.m)
+	if r.A != 0 {
+		t.Fatalf("region A after GT = %d: %s", r.A, r)
+	}
+}

@@ -1,0 +1,221 @@
+package mvcc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hybridgc/internal/ts"
+)
+
+// TransContext associates all record versions created by one write
+// transaction (§2.2). Versions point to their TransContext; on commit the
+// TransContext is pointed at a GroupCommitContext shared by every
+// transaction committing in the same group, which is how one atomic CID
+// store makes a whole group of versions visible at once.
+type TransContext struct {
+	TxnID uint64
+
+	gcc atomic.Pointer[GroupCommitContext]
+
+	mu       sync.Mutex
+	versions []*Version
+}
+
+// NewTransContext returns a context for the given transaction ID.
+func NewTransContext(txnID uint64) *TransContext {
+	return &TransContext{TxnID: txnID}
+}
+
+// Add records a version created by this transaction (the backward link used
+// for CID propagation and group reclamation).
+func (tc *TransContext) Add(v *Version) {
+	tc.mu.Lock()
+	tc.versions = append(tc.versions, v)
+	tc.mu.Unlock()
+}
+
+// Versions returns the versions created by this transaction, in creation
+// order.
+func (tc *TransContext) Versions() []*Version {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return append([]*Version(nil), tc.versions...)
+}
+
+// VersionCount returns how many versions the transaction created.
+func (tc *TransContext) VersionCount() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.versions)
+}
+
+// Group returns the GroupCommitContext once the transaction entered group
+// commit, or nil while it is still active.
+func (tc *TransContext) Group() *GroupCommitContext { return tc.gcc.Load() }
+
+// setGroup links the context into its commit group.
+func (tc *TransContext) setGroup(g *GroupCommitContext) { tc.gcc.Store(g) }
+
+// CID resolves the transaction's commit identifier, or ts.Invalid before
+// commit.
+func (tc *TransContext) CID() ts.CID {
+	g := tc.gcc.Load()
+	if g == nil {
+		return ts.Invalid
+	}
+	return g.CID()
+}
+
+// GroupCommitContext represents one group commit operation (§2.2, Figure 7):
+// the set of transactions whose versions all share a single CID. Contexts
+// are kept in a global list ordered by CID so that the group collector can
+// identify whole garbage groups without traversing individual versions.
+type GroupCommitContext struct {
+	cid  atomic.Uint64
+	txns []*TransContext
+
+	// list linkage, guarded by the owning GroupList's mutex.
+	prev, next *GroupCommitContext
+	removed    bool
+}
+
+// NewGroup creates a commit group over the given transaction contexts and
+// points each of them at the group. The CID is still unassigned; the group
+// becomes visible the moment AssignCID stores it.
+func NewGroup(txns []*TransContext) *GroupCommitContext {
+	g := &GroupCommitContext{txns: txns}
+	for _, tc := range txns {
+		tc.setGroup(g)
+	}
+	return g
+}
+
+// AssignCID atomically publishes the group's commit identifier. After this
+// single store, every version of every member transaction resolves to c.
+func (g *GroupCommitContext) AssignCID(c ts.CID) { g.cid.Store(uint64(c)) }
+
+// CID returns the group's commit identifier, or ts.Invalid before assignment.
+func (g *GroupCommitContext) CID() ts.CID { return ts.CID(g.cid.Load()) }
+
+// Transactions returns the member transaction contexts.
+func (g *GroupCommitContext) Transactions() []*TransContext { return g.txns }
+
+// Propagate writes the group CID into every member version entry (the
+// asynchronous backward CID propagation of §2.2), so later visibility checks
+// do not chase pointers. It returns the number of versions touched.
+func (g *GroupCommitContext) Propagate() int {
+	c := g.CID()
+	if c == ts.Invalid {
+		return 0
+	}
+	n := 0
+	for _, tc := range g.txns {
+		for _, v := range tc.Versions() {
+			v.SetCID(c)
+			n++
+		}
+	}
+	return n
+}
+
+// Versions returns every version entry belonging to the group, across all
+// member transactions.
+func (g *GroupCommitContext) Versions() []*Version {
+	var out []*Version
+	for _, tc := range g.txns {
+		out = append(out, tc.Versions()...)
+	}
+	return out
+}
+
+// GroupList is the ordered list of GroupCommitContext objects (Figure 7).
+// Groups are appended in commit order, which is CID order, and removed by
+// the group collector once fully reclaimed.
+type GroupList struct {
+	mu    sync.Mutex
+	head  *GroupCommitContext
+	tail  *GroupCommitContext
+	count int
+}
+
+// NewGroupList returns an empty list.
+func NewGroupList() *GroupList { return &GroupList{} }
+
+// Append adds a freshly committed group at the tail. Caller must append in
+// CID order (the group committer serializes commits, so this holds).
+func (gl *GroupList) Append(g *GroupCommitContext) {
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	g.prev = gl.tail
+	g.next = nil
+	if gl.tail != nil {
+		gl.tail.next = g
+	} else {
+		gl.head = g
+	}
+	gl.tail = g
+	gl.count++
+}
+
+// Remove unlinks a fully reclaimed group. Removing twice is a no-op.
+func (gl *GroupList) Remove(g *GroupCommitContext) {
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	if g.removed {
+		return
+	}
+	g.removed = true
+	if g.prev != nil {
+		g.prev.next = g.next
+	} else {
+		gl.head = g.next
+	}
+	if g.next != nil {
+		g.next.prev = g.prev
+	} else {
+		gl.tail = g.prev
+	}
+	g.prev, g.next = nil, nil
+	gl.count--
+}
+
+// Len returns the number of groups currently linked.
+func (gl *GroupList) Len() int {
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	return gl.count
+}
+
+// Ascending calls fn on each group from the oldest CID upward until fn
+// returns false. The snapshot of the list is taken under the lock, so fn
+// runs without holding it and may call Remove.
+func (gl *GroupList) Ascending(fn func(*GroupCommitContext) bool) {
+	for _, g := range gl.slice() {
+		if !fn(g) {
+			return
+		}
+	}
+}
+
+// Descending calls fn on each group from the newest CID downward until fn
+// returns false (the interval collector's highest-CID-first iteration, §4.2
+// step 3).
+func (gl *GroupList) Descending(fn func(*GroupCommitContext) bool) {
+	s := gl.slice()
+	for i := len(s) - 1; i >= 0; i-- {
+		if !fn(s[i]) {
+			return
+		}
+	}
+}
+
+// slice copies the current membership under the lock.
+func (gl *GroupList) slice() []*GroupCommitContext {
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	out := make([]*GroupCommitContext, 0, gl.count)
+	for g := gl.head; g != nil; g = g.next {
+		out = append(out, g)
+	}
+	return out
+}

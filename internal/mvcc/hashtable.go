@@ -1,0 +1,183 @@
+package mvcc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hybridgc/internal/ts"
+)
+
+// HashTable is the central RID hash table of §2.2: a fixed array of buckets,
+// each holding a linked list of version chains. When several chains land in
+// one bucket, lookups pay extra pointer traversals — the collision cost whose
+// impact Figure 13 measures — so the table exposes collision statistics.
+type HashTable struct {
+	buckets []hashBucket
+	mask    uint64
+	chains  atomic.Int64
+	// lookups/extraHops measure the navigation cost caused by collisions.
+	lookups   atomic.Int64
+	extraHops atomic.Int64
+}
+
+type hashBucket struct {
+	mu   sync.Mutex
+	head *Chain
+}
+
+// DefaultBuckets is the default RID hash table size. It is deliberately
+// moderate so that an ineffective garbage collector visibly drives up the
+// collision ratio, as in the paper's row store.
+const DefaultBuckets = 1 << 14
+
+// NewHashTable creates a table with at least n buckets (rounded up to a
+// power of two; n<=0 selects DefaultBuckets).
+func NewHashTable(n int) *HashTable {
+	if n <= 0 {
+		n = DefaultBuckets
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &HashTable{
+		buckets: make([]hashBucket, size),
+		mask:    uint64(size - 1),
+	}
+}
+
+// hashKey mixes the (table, RID) pair with a splitmix64 finalizer.
+func hashKey(k ts.RecordKey) uint64 {
+	x := uint64(k.RID)*0x9e3779b97f4a7c15 ^ (uint64(k.Table) << 56)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Get returns the chain registered for key, or nil. It records the pointer
+// hops spent walking the bucket's collision list.
+func (h *HashTable) Get(key ts.RecordKey) *Chain {
+	b := &h.buckets[hashKey(key)&h.mask]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h.lookups.Add(1)
+	hops := int64(0)
+	for c := b.head; c != nil; c = c.bucketNext {
+		if c.Key == key {
+			h.extraHops.Add(hops)
+			return c
+		}
+		hops++
+	}
+	h.extraHops.Add(hops)
+	return nil
+}
+
+// GetOrCreate returns the chain for key, creating and registering an empty
+// one bound to rec if absent.
+func (h *HashTable) GetOrCreate(key ts.RecordKey, rec RecordRef) *Chain {
+	b := &h.buckets[hashKey(key)&h.mask]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for c := b.head; c != nil; c = c.bucketNext {
+		if c.Key == key {
+			return c
+		}
+	}
+	c := &Chain{Key: key, Rec: rec}
+	c.bucketNext = b.head
+	b.head = c
+	h.chains.Add(1)
+	return c
+}
+
+// Remove unlinks chain c from its bucket. The caller must have marked the
+// chain dead under its latch first, so racing writers retry GetOrCreate and
+// observe a fresh chain rather than resurrecting this one.
+func (h *HashTable) Remove(c *Chain) {
+	b := &h.buckets[hashKey(c.Key)&h.mask]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.head == c:
+		b.head = c.bucketNext
+	default:
+		for p := b.head; p != nil; p = p.bucketNext {
+			if p.bucketNext == c {
+				p.bucketNext = c.bucketNext
+				break
+			}
+		}
+	}
+	c.bucketNext = nil
+	h.chains.Add(-1)
+}
+
+// ForEach visits every registered chain until fn returns false. Buckets are
+// visited in order; each bucket's membership is copied under its lock so fn
+// runs without holding it.
+func (h *HashTable) ForEach(fn func(*Chain) bool) {
+	var batch []*Chain
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		b.mu.Lock()
+		batch = batch[:0]
+		for c := b.head; c != nil; c = c.bucketNext {
+			batch = append(batch, c)
+		}
+		b.mu.Unlock()
+		for _, c := range batch {
+			if !fn(c) {
+				return
+			}
+		}
+	}
+}
+
+// HashStats summarizes the table's collision state.
+type HashStats struct {
+	Buckets         int
+	Chains          int64
+	OccupiedBuckets int
+	MaxBucketLen    int
+	// CollisionRatio is the average number of version chains per bucket —
+	// the metric of Figure 13 (a ratio of 10 means 10 chains share a bucket
+	// on average).
+	CollisionRatio float64
+	// AvgPerOccupied is the mean chain count over non-empty buckets only.
+	AvgPerOccupied float64
+	Lookups        int64
+	ExtraHops      int64
+}
+
+// Stats scans the buckets and returns collision statistics.
+func (h *HashTable) Stats() HashStats {
+	st := HashStats{Buckets: len(h.buckets), Chains: h.chains.Load(),
+		Lookups: h.lookups.Load(), ExtraHops: h.extraHops.Load()}
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		b.mu.Lock()
+		n := 0
+		for c := b.head; c != nil; c = c.bucketNext {
+			n++
+		}
+		b.mu.Unlock()
+		if n > 0 {
+			st.OccupiedBuckets++
+			if n > st.MaxBucketLen {
+				st.MaxBucketLen = n
+			}
+		}
+	}
+	st.CollisionRatio = float64(st.Chains) / float64(st.Buckets)
+	if st.OccupiedBuckets > 0 {
+		st.AvgPerOccupied = float64(st.Chains) / float64(st.OccupiedBuckets)
+	}
+	return st
+}
+
+// ChainCount returns the number of registered chains.
+func (h *HashTable) ChainCount() int64 { return h.chains.Load() }

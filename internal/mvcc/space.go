@@ -1,0 +1,302 @@
+package mvcc
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"hybridgc/internal/ts"
+)
+
+// ErrRetry is returned internally when a chain was removed during a race;
+// Space methods loop on it and callers never observe it.
+var errDeadChain = errors.New("mvcc: chain removed concurrently")
+
+// Space is the version space: the RID hash table of version chains, the
+// ordered group-commit list, and the global version accounting that the
+// evaluation section reports ("Active Versions").
+type Space struct {
+	HT     *HashTable
+	Groups *GroupList
+
+	live      atomic.Int64 // versions currently linked in chains
+	liveBytes atomic.Int64 // payload + header bytes of live versions
+	created   atomic.Int64 // versions ever created
+	reclaimed atomic.Int64 // versions unlinked by garbage collection
+	rolled    atomic.Int64 // versions undone by rollback
+	migrated  atomic.Int64 // images migrated into the table space
+}
+
+// versionHeaderBytes approximates the fixed per-version cost (header,
+// pointers, bookkeeping) added to the payload when accounting memory — the
+// "Used Memory" indicator of Figure 2.
+const versionHeaderBytes = 96
+
+// footprint is one version's accounted size.
+func footprint(v *Version) int64 {
+	return versionHeaderBytes + int64(len(v.Payload))
+}
+
+// NewSpace creates a version space with the given hash table size (<=0 picks
+// the default).
+func NewSpace(buckets int) *Space {
+	return &Space{HT: NewHashTable(buckets), Groups: NewGroupList()}
+}
+
+// Live returns the number of record versions currently in the version space
+// (the "number of record versions" series of Figures 10 and 17).
+func (s *Space) Live() int64 { return s.live.Load() }
+
+// LiveBytes returns the accounted memory of live versions (payloads plus a
+// fixed per-version header cost) — Figure 2's "Used Memory".
+func (s *Space) LiveBytes() int64 { return s.liveBytes.Load() }
+
+// Created returns the number of versions ever appended.
+func (s *Space) Created() int64 { return s.created.Load() }
+
+// ReclaimedTotal returns the number of versions reclaimed by collectors.
+func (s *Space) ReclaimedTotal() int64 { return s.reclaimed.Load() }
+
+// MigratedTotal returns the number of images migrated to the table space.
+func (s *Space) MigratedTotal() int64 { return s.migrated.Load() }
+
+// RolledBackTotal returns the number of versions undone by rollbacks.
+func (s *Space) RolledBackTotal() int64 { return s.rolled.Load() }
+
+// Prepend links v as the newest version of its record. check, if non-nil,
+// runs under the chain latch against the current head and may veto the write
+// (write-write conflict detection); a veto aborts the link and returns the
+// veto error. The record's is_versioned flag is raised.
+func (s *Space) Prepend(rec RecordRef, v *Version, check func(head *Version) error) (*Chain, error) {
+	for {
+		c := s.HT.GetOrCreate(v.Key, rec)
+		err := func() error {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if c.dead {
+				return errDeadChain
+			}
+			if check != nil {
+				if err := check(c.head.Load()); err != nil {
+					return err
+				}
+			}
+			c.prependLocked(v)
+			rec.SetVersioned(true)
+			return nil
+		}()
+		switch {
+		case err == nil:
+			s.live.Add(1)
+			s.liveBytes.Add(footprint(v))
+			s.created.Add(1)
+			return c, nil
+		case errors.Is(err, errDeadChain):
+			continue // chain was collected out from under us; retry lookup
+		default:
+			return nil, err
+		}
+	}
+}
+
+// Rollback undoes an uncommitted version: it is spliced out of its chain,
+// and when that empties the chain the chain is dropped from the hash table.
+// For a rolled-back INSERT the record itself is dropped from the table
+// space; otherwise the record's is_versioned flag is cleared when the chain
+// disappears. Reports whether the version was actually unlinked.
+func (s *Space) Rollback(v *Version) bool {
+	c := v.chain
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	if c.dead || !c.spliceOutLocked(v) {
+		c.mu.Unlock()
+		return false
+	}
+	emptied := c.head.Load() == nil
+	if emptied {
+		c.dead = true
+		if v.Op == OpInsert {
+			c.Rec.DropRecord()
+		} else {
+			c.Rec.SetVersioned(false)
+		}
+	}
+	c.mu.Unlock()
+	if emptied {
+		s.HT.Remove(c)
+	}
+	s.live.Add(-1)
+	s.liveBytes.Add(-footprint(v))
+	s.rolled.Add(1)
+	return true
+}
+
+// ReclaimResult reports what one chain-level reclamation did.
+type ReclaimResult struct {
+	Versions int  // versions unlinked
+	Migrated bool // an image moved into the table space
+	Dropped  bool // the record was deleted from the table space
+	Emptied  bool // the chain disappeared from the hash table
+}
+
+// ReclaimBelow performs timestamp-based reclamation on one chain: every
+// committed version with CID < min is unlinked; the newest of them first has
+// its effect migrated into the table space (image installed, or record
+// dropped for DELETE). This is the chain-level primitive behind the ST, GT
+// and TG collectors. It is idempotent: a second call with the same horizon
+// reclaims nothing.
+func (s *Space) ReclaimBelow(c *Chain, min ts.CID) ReclaimResult {
+	var res ReclaimResult
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return res
+	}
+	// Find the newest committed version below the horizon and its newer
+	// neighbor. The chain is latest-first, so candidates form the suffix.
+	var newer, boundary *Version
+	for cur := c.head.Load(); cur != nil; cur = cur.Older() {
+		if cid := cur.CID(); cid != ts.Invalid && cid < min {
+			boundary = cur
+			break
+		}
+		newer = cur
+	}
+	if boundary == nil {
+		c.mu.Unlock()
+		return res
+	}
+	// Migrate the boundary version's effect into the table space before
+	// detaching, so fallback readers observe the same image.
+	switch boundary.Op {
+	case OpDelete:
+		c.Rec.DropRecord()
+		res.Dropped = true
+	default:
+		c.Rec.InstallImage(boundary.Payload)
+		res.Migrated = true
+	}
+	// Detach the whole suffix starting at boundary.
+	if newer == nil {
+		c.head.Store(nil)
+	} else {
+		newer.older.Store(nil)
+	}
+	var freed int64
+	for cur := boundary; cur != nil; cur = cur.Older() {
+		if cur.markReclaimed() {
+			res.Versions++
+			freed += footprint(cur)
+		}
+	}
+	c.length.Add(int32(-res.Versions))
+	if c.head.Load() == nil {
+		c.dead = true
+		res.Emptied = true
+		if !res.Dropped {
+			c.Rec.SetVersioned(false)
+		}
+	}
+	c.mu.Unlock()
+
+	if res.Emptied {
+		s.HT.Remove(c)
+	}
+	s.live.Add(int64(-res.Versions))
+	s.liveBytes.Add(-freed)
+	s.reclaimed.Add(int64(res.Versions))
+	if res.Migrated {
+		s.migrated.Add(1)
+	}
+	return res
+}
+
+// ReclaimIntervals performs interval-based reclamation on one chain (§4.2
+// step 4): with snaps the ascending active snapshot timestamps, every
+// committed version whose visible interval contains no snapshot is unlinked.
+//
+// Two safety bounds apply. The newest committed version is never touched
+// (its interval extends to infinity). And only versions whose successor's
+// CID is at or below bound are considered, where bound must be a commit
+// timestamp captured atomically with snaps such that every snapshot
+// registered afterwards has timestamp >= bound (the transaction manager's
+// SnapshotSetAndBound provides exactly this). A version above the bound
+// could still become visible to a snapshot acquired after snaps was
+// collected — §4.2 step 2 bounds its group scan by max(S) for the same
+// reason; using the commit timestamp collects strictly more while remaining
+// safe, since no present or future snapshot can land below bound outside
+// snaps.
+//
+// Interval reclamation removes versions strictly in the middle of the
+// committed history, so the chain never empties here and nothing migrates to
+// the table space. Returns the number of versions reclaimed.
+func (s *Space) ReclaimIntervals(c *Chain, snaps []ts.CID, bound ts.CID) int {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0
+	}
+	vs, cids := c.committedAscendingLocked()
+	for len(cids) > 0 && cids[len(cids)-1] > bound {
+		vs, cids = vs[:len(vs)-1], cids[:len(cids)-1]
+	}
+	if len(vs) < 2 {
+		c.mu.Unlock()
+		return 0
+	}
+	mask := ts.GarbageMask(snaps, cids)
+	n := 0
+	var freed int64
+	for i, garbage := range mask {
+		if garbage && c.spliceOutLocked(vs[i]) && vs[i].markReclaimed() {
+			n++
+			freed += footprint(vs[i])
+		}
+	}
+	c.mu.Unlock()
+	s.live.Add(int64(-n))
+	s.liveBytes.Add(-freed)
+	s.reclaimed.Add(int64(n))
+	return n
+}
+
+// ReclaimVersionIf unlinks a single committed version when decide approves
+// the pair (version CID, successor CID), where the successor is the next
+// newer committed version in the chain. Versions without a committed
+// successor — the newest committed version — are never eligible, preserving
+// the table-space fallback invariant. This is the primitive behind the
+// group-interval collector, which batches the decision per
+// (group, successor-group) subgroup. Returns whether v was reclaimed.
+func (s *Space) ReclaimVersionIf(v *Version, decide func(self, successor ts.CID) bool) bool {
+	c := v.chain
+	if c == nil || v.Reclaimed() {
+		return false
+	}
+	c.mu.Lock()
+	if c.dead || v.Reclaimed() || !v.Committed() {
+		c.mu.Unlock()
+		return false
+	}
+	// Find the closest committed version newer than v by walking from the
+	// head; cur holds the candidate successor seen so far.
+	var successor *Version
+	for cur := c.head.Load(); cur != nil && cur != v; cur = cur.Older() {
+		if cur.Committed() {
+			successor = cur
+		}
+	}
+	if successor == nil {
+		c.mu.Unlock()
+		return false
+	}
+	if !decide(v.CID(), successor.CID()) || !c.spliceOutLocked(v) || !v.markReclaimed() {
+		c.mu.Unlock()
+		return false
+	}
+	c.mu.Unlock()
+	s.live.Add(-1)
+	s.liveBytes.Add(-footprint(v))
+	s.reclaimed.Add(1)
+	return true
+}

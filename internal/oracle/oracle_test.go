@@ -1,0 +1,39 @@
+package oracle
+
+import (
+	"testing"
+)
+
+func TestOracleShortHistories(t *testing.T) {
+	// Many short histories with different seeds cover more interleavings of
+	// snapshot churn and collector choice than one long run.
+	for seed := int64(1); seed <= 12; seed++ {
+		o, err := New(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Run(300); err != nil {
+			o.Close()
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		o.Close()
+	}
+}
+
+func TestOracleLongHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long randomized run")
+	}
+	o, err := New(424242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if err := o.Run(4000); err != nil {
+		t.Fatal(err)
+	}
+	if o.Reclaimed == 0 {
+		t.Fatal("the random schedule never reclaimed anything — collectors untested")
+	}
+	t.Logf("steps=%d reclaimed=%d", o.Steps, o.Reclaimed)
+}

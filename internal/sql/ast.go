@@ -1,0 +1,165 @@
+package sql
+
+import "fmt"
+
+// ColType is a SQL column type.
+type ColType int
+
+const (
+	// TInt is a 64-bit integer column.
+	TInt ColType = iota + 1
+	// TText is a string column.
+	TText
+)
+
+// String implements fmt.Stringer.
+func (t ColType) String() string {
+	if t == TInt {
+		return "INT"
+	}
+	return "TEXT"
+}
+
+// Datum is one SQL value: an integer or a string.
+type Datum struct {
+	Type ColType
+	I    int64
+	S    string
+}
+
+// IntD and TextD construct datums.
+func IntD(v int64) Datum   { return Datum{Type: TInt, I: v} }
+func TextD(v string) Datum { return Datum{Type: TText, S: v} }
+
+// String implements fmt.Stringer.
+func (d Datum) String() string {
+	if d.Type == TInt {
+		return fmt.Sprint(d.I)
+	}
+	return d.S
+}
+
+// Equal compares datums by type and value.
+func (d Datum) Equal(o Datum) bool {
+	return d.Type == o.Type && d.I == o.I && d.S == o.S
+}
+
+// Less orders datums of the same type (ints numerically, text bytewise).
+func (d Datum) Less(o Datum) bool {
+	if d.Type == TInt {
+		return d.I < o.I
+	}
+	return d.S < o.S
+}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type ColType
+}
+
+// CmpOp is a comparison operator in a predicate.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota // =
+	OpLt              // <
+	OpGt              // >
+)
+
+// String implements fmt.Stringer.
+func (o CmpOp) String() string {
+	switch o {
+	case OpLt:
+		return "<"
+	case OpGt:
+		return ">"
+	default:
+		return "="
+	}
+}
+
+// Condition is one `col <op> value` predicate; WHERE clauses are AND-chains
+// of these.
+type Condition struct {
+	Column string
+	Op     CmpOp
+	Value  Datum
+}
+
+// OrderBy is an optional ORDER BY column with direction.
+type OrderBy struct {
+	Column string
+	Desc   bool
+}
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmtNode() }
+
+// CreateTableStmt is CREATE TABLE name (col type, ...).
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+// CreateIndexStmt is CREATE [ORDERED] INDEX ON table (column).
+type CreateIndexStmt struct {
+	Table   string
+	Column  string
+	Ordered bool
+}
+
+// InsertStmt is INSERT INTO table VALUES (v, ...).
+type InsertStmt struct {
+	Table  string
+	Values []Datum
+}
+
+// SelectStmt is SELECT cols|*|COUNT(*)|SUM(col) FROM table [WHERE ...]
+// [ORDER BY col [DESC]] [LIMIT n].
+type SelectStmt struct {
+	Table   string
+	Columns []string // nil = *
+	// Aggregate is "", "COUNT" or "SUM"; SumColumn names SUM's argument.
+	Aggregate string
+	SumColumn string
+	Where     []Condition
+	Order     *OrderBy
+	Limit     int // 0 = unlimited
+}
+
+// UpdateStmt is UPDATE table SET col = v, ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Set   []Condition // reuse Condition as column/value pairs
+	Where []Condition
+}
+
+// DeleteStmt is DELETE FROM table [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where []Condition
+}
+
+// BeginStmt is BEGIN [TRANSACTION] [SNAPSHOT|STATEMENT]: SNAPSHOT selects
+// Trans-SI, STATEMENT (the default) selects Stmt-SI.
+type BeginStmt struct {
+	TransSI bool
+}
+
+// CommitStmt is COMMIT.
+type CommitStmt struct{}
+
+// RollbackStmt is ROLLBACK.
+type RollbackStmt struct{}
+
+func (*CreateTableStmt) stmtNode() {}
+func (*CreateIndexStmt) stmtNode() {}
+func (*InsertStmt) stmtNode()      {}
+func (*SelectStmt) stmtNode()      {}
+func (*UpdateStmt) stmtNode()      {}
+func (*DeleteStmt) stmtNode()      {}
+func (*BeginStmt) stmtNode()       {}
+func (*CommitStmt) stmtNode()      {}
+func (*RollbackStmt) stmtNode()    {}

@@ -1,0 +1,298 @@
+package sql
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"hybridgc/internal/core"
+	"hybridgc/internal/ts"
+	"hybridgc/internal/txn"
+)
+
+// Errors returned by the SQL layer.
+var (
+	ErrUnknownTable  = errors.New("sql: unknown table")
+	ErrUnknownColumn = errors.New("sql: unknown column")
+	ErrTypeMismatch  = errors.New("sql: type mismatch")
+	ErrNoTransaction = errors.New("sql: no transaction in progress")
+	ErrInTransaction = errors.New("sql: transaction already in progress")
+)
+
+// metaTable is the engine table holding serialized schemas, so SQL-created
+// tables survive recovery along with their data.
+const metaTable = "__sql_schema"
+
+// TableInfo is one SQL table's compiled schema.
+type TableInfo struct {
+	Name    string
+	ID      ts.TableID
+	Columns []ColumnDef
+
+	colIdx map[string]int
+
+	mu      sync.RWMutex
+	indexes map[string]anyIndex
+}
+
+// ColumnIndex resolves a column name to its position.
+func (t *TableInfo) ColumnIndex(name string) (int, error) {
+	if i, ok := t.colIdx[strings.ToLower(name)]; ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("%w: %s.%s", ErrUnknownColumn, t.Name, name)
+}
+
+// Index returns the index on column, or nil.
+func (t *TableInfo) Index(column string) anyIndex {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.indexes[strings.ToLower(column)]
+}
+
+// addIndex registers an index; returns false if one already exists.
+func (t *TableInfo) addIndex(ix anyIndex) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.indexes[ix.ColumnName()]; dup {
+		return false
+	}
+	t.indexes[ix.ColumnName()] = ix
+	return true
+}
+
+// eachIndex visits the table's indexes.
+func (t *TableInfo) eachIndex(fn func(anyIndex)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, ix := range t.indexes {
+		fn(ix)
+	}
+}
+
+// Catalog maps SQL schemas onto engine tables and persists them through the
+// meta table.
+type Catalog struct {
+	db     *core.DB
+	metaID ts.TableID
+
+	mu     sync.RWMutex
+	tables map[string]*TableInfo
+}
+
+// NewCatalog builds (or re-attaches, after recovery) the SQL catalog over a
+// database.
+func NewCatalog(db *core.DB) (*Catalog, error) {
+	c := &Catalog{db: db, tables: make(map[string]*TableInfo)}
+	if id := db.TableID(metaTable); id != 0 {
+		c.metaID = id
+		if err := c.loadSchemas(); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	id, err := db.CreateTable(metaTable)
+	if err != nil {
+		return nil, err
+	}
+	c.metaID = id
+	return c, nil
+}
+
+// loadSchemas re-attaches schemas after recovery.
+func (c *Catalog) loadSchemas() error {
+	return c.db.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+		return tx.Scan(c.metaID, func(_ ts.RID, img []byte) bool {
+			name, cols, err := decodeSchema(img)
+			if err != nil {
+				return true // skip unreadable entries; surfaced via missing table
+			}
+			id := c.db.TableID(name)
+			if id == 0 {
+				return true
+			}
+			c.tables[strings.ToLower(name)] = newTableInfo(name, id, cols)
+			return true
+		})
+	})
+}
+
+func newTableInfo(name string, id ts.TableID, cols []ColumnDef) *TableInfo {
+	ti := &TableInfo{Name: name, ID: id, Columns: cols,
+		colIdx: make(map[string]int), indexes: make(map[string]anyIndex)}
+	for i, c := range cols {
+		ti.colIdx[strings.ToLower(c.Name)] = i
+	}
+	return ti
+}
+
+// CreateTable registers a SQL table: an engine table plus a schema row in
+// the meta table.
+func (c *Catalog) CreateTable(name string, cols []ColumnDef) (*TableInfo, error) {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[key]; dup {
+		return nil, fmt.Errorf("sql: table %q already exists", name)
+	}
+	seen := map[string]bool{}
+	for _, col := range cols {
+		if seen[col.Name] {
+			return nil, fmt.Errorf("sql: duplicate column %q", col.Name)
+		}
+		seen[col.Name] = true
+	}
+	id, err := c.db.CreateTable(name)
+	if err != nil {
+		return nil, err
+	}
+	err = c.db.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+		_, err := tx.Insert(c.metaID, encodeSchema(name, cols))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	ti := newTableInfo(name, id, cols)
+	c.tables[key] = ti
+	return ti, nil
+}
+
+// Table resolves a SQL table by name.
+func (c *Catalog) Table(name string) (*TableInfo, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if t, ok := c.tables[strings.ToLower(name)]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrUnknownTable, name)
+}
+
+// Tables lists the SQL tables (sorted by name is not guaranteed).
+func (c *Catalog) Tables() []*TableInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*TableInfo, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// DB returns the underlying engine.
+func (c *Catalog) DB() *core.DB { return c.db }
+
+// --- row and schema codecs ---
+
+// encodeRow serializes datums per the schema.
+func encodeRow(cols []ColumnDef, row []Datum) ([]byte, error) {
+	if len(row) != len(cols) {
+		return nil, fmt.Errorf("%w: %d values for %d columns", ErrTypeMismatch, len(row), len(cols))
+	}
+	var b []byte
+	for i, col := range cols {
+		if row[i].Type != col.Type {
+			return nil, fmt.Errorf("%w: column %s is %s, value is %s",
+				ErrTypeMismatch, col.Name, col.Type, row[i].Type)
+		}
+		switch col.Type {
+		case TInt:
+			b = binary.LittleEndian.AppendUint64(b, uint64(row[i].I))
+		case TText:
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(row[i].S)))
+			b = append(b, row[i].S...)
+		}
+	}
+	return b, nil
+}
+
+// decodeRow parses a stored row.
+func decodeRow(cols []ColumnDef, b []byte) ([]Datum, error) {
+	row := make([]Datum, len(cols))
+	off := 0
+	for i, col := range cols {
+		switch col.Type {
+		case TInt:
+			if off+8 > len(b) {
+				return nil, fmt.Errorf("sql: truncated row at column %s", col.Name)
+			}
+			row[i] = IntD(int64(binary.LittleEndian.Uint64(b[off:])))
+			off += 8
+		case TText:
+			if off+4 > len(b) {
+				return nil, fmt.Errorf("sql: truncated row at column %s", col.Name)
+			}
+			n := int(binary.LittleEndian.Uint32(b[off:]))
+			off += 4
+			if off+n > len(b) {
+				return nil, fmt.Errorf("sql: truncated text at column %s", col.Name)
+			}
+			row[i] = TextD(string(b[off : off+n]))
+			off += n
+		}
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("sql: %d trailing bytes in row", len(b)-off)
+	}
+	return row, nil
+}
+
+// encodeSchema serializes a schema row for the meta table.
+func encodeSchema(name string, cols []ColumnDef) []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(name)))
+	b = append(b, name...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cols)))
+	for _, c := range cols {
+		b = append(b, byte(c.Type))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(c.Name)))
+		b = append(b, c.Name...)
+	}
+	return b
+}
+
+// decodeSchema parses a schema row.
+func decodeSchema(b []byte) (string, []ColumnDef, error) {
+	off := 0
+	readStr := func() (string, bool) {
+		if off+4 > len(b) {
+			return "", false
+		}
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if off+n > len(b) {
+			return "", false
+		}
+		s := string(b[off : off+n])
+		off += n
+		return s, true
+	}
+	name, ok := readStr()
+	if !ok {
+		return "", nil, errors.New("sql: corrupt schema row")
+	}
+	if off+4 > len(b) {
+		return "", nil, errors.New("sql: corrupt schema row")
+	}
+	n := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	cols := make([]ColumnDef, 0, n)
+	for i := 0; i < n; i++ {
+		if off+1 > len(b) {
+			return "", nil, errors.New("sql: corrupt schema row")
+		}
+		ct := ColType(b[off])
+		off++
+		cn, ok := readStr()
+		if !ok {
+			return "", nil, errors.New("sql: corrupt schema row")
+		}
+		cols = append(cols, ColumnDef{Name: cn, Type: ct})
+	}
+	if off != len(b) {
+		return "", nil, errors.New("sql: trailing bytes in schema row")
+	}
+	return name, cols, nil
+}

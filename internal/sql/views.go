@@ -1,0 +1,143 @@
+package sql
+
+import (
+	"sort"
+	"strings"
+
+	"hybridgc/internal/gc"
+)
+
+// Monitoring views. The paper's Figure 2 is a screenshot of the "HANA
+// system load view" plotting Active Versions, the Active Commit ID Range
+// and Used Memory; HANA exposes such state through M_* monitoring views.
+// These virtual tables provide the same observability through SQL:
+//
+//	m_version_space (metric TEXT, value INT)   — version/GC counters
+//	m_snapshots     (kind TEXT, timestamp INT, age_us INT, scoped INT)
+//	m_gc            (collector TEXT, reclaimed INT, runs INT)
+//	m_tables        (name TEXT, id INT, partitions INT)
+//
+// Views are read-only; SELECT (including WHERE/ORDER BY/LIMIT/COUNT/SUM)
+// works on them, DML does not.
+
+// viewBuilder materializes one view.
+type viewBuilder func(s *Session) [][]Datum
+
+// view pairs a schema with its builder.
+type view struct {
+	info  *TableInfo
+	build viewBuilder
+}
+
+// views is the registry of monitoring views, keyed by lower-case name.
+var views = map[string]view{
+	"m_version_space": {
+		info: viewInfo("m_version_space", []ColumnDef{
+			{Name: "metric", Type: TText}, {Name: "value", Type: TInt}}),
+		build: func(s *Session) [][]Datum {
+			st := s.db.Stats()
+			metrics := []struct {
+				name string
+				v    int64
+			}{
+				{"versions_live", st.VersionsLive},
+				{"versions_live_bytes", st.VersionsLiveBytes},
+				{"versions_created", st.VersionsCreated},
+				{"versions_reclaimed", st.VersionsReclaimed},
+				{"versions_migrated", st.VersionsMigrated},
+				{"versions_traversed", st.VersionsTraversed},
+				{"hash_chains", st.Hash.Chains},
+				{"hash_buckets", int64(st.Hash.Buckets)},
+				{"hash_collision_ratio_x100", int64(st.Hash.CollisionRatio * 100)},
+				{"active_snapshots", int64(st.ActiveSnapshots)},
+				{"current_cid", int64(st.CurrentCID)},
+				{"global_horizon", int64(st.GlobalHorizon)},
+				{"active_cid_range", int64(st.ActiveCIDRange)},
+				{"group_list_len", int64(st.GroupListLen)},
+				{"statements", st.Statements},
+				{"txns_committed", st.Txn.TxnsCommitted},
+				{"txns_aborted", st.Txn.TxnsAborted},
+				{"groups_committed", st.Txn.GroupsCommitted},
+			}
+			rows := make([][]Datum, 0, len(metrics))
+			for _, m := range metrics {
+				rows = append(rows, []Datum{TextD(m.name), IntD(m.v)})
+			}
+			return rows
+		},
+	},
+	"m_snapshots": {
+		info: viewInfo("m_snapshots", []ColumnDef{
+			{Name: "kind", Type: TText}, {Name: "timestamp", Type: TInt},
+			{Name: "age_us", Type: TInt}, {Name: "scoped", Type: TInt}}),
+		build: func(s *Session) [][]Datum {
+			snaps := s.db.Manager().Monitor().Active()
+			sort.Slice(snaps, func(i, j int) bool { return snaps[i].TS() < snaps[j].TS() })
+			rows := make([][]Datum, 0, len(snaps))
+			for _, sn := range snaps {
+				scoped := int64(0)
+				if sn.Scoped() {
+					scoped = 1
+				}
+				rows = append(rows, []Datum{
+					TextD(sn.Kind().String()),
+					IntD(int64(sn.TS())),
+					IntD(sn.Age().Microseconds()),
+					IntD(scoped),
+				})
+			}
+			return rows
+		},
+	},
+	"m_gc": {
+		info: viewInfo("m_gc", []ColumnDef{
+			{Name: "collector", Type: TText}, {Name: "reclaimed", Type: TInt},
+			{Name: "runs", Type: TInt}}),
+		build: func(s *Session) [][]Datum {
+			h := s.db.GC()
+			return [][]Datum{
+				{TextD("GT"), IntD(h.GT.Totals.Versions()), IntD(h.GT.Totals.Runs())},
+				{TextD("TG"), IntD(h.TG.Totals.Versions()), IntD(h.TG.Totals.Runs())},
+				{TextD("SI"), IntD(h.SI.Totals.Versions()), IntD(h.SI.Totals.Runs())},
+			}
+		},
+	},
+	"m_gc_regions": {
+		info: viewInfo("m_gc_regions", []ColumnDef{
+			{Name: "region", Type: TText}, {Name: "versions", Type: TInt},
+			{Name: "collector", Type: TText}}),
+		build: func(s *Session) [][]Datum {
+			r := gc.CurrentRegions(s.db.Manager())
+			return [][]Datum{
+				{TextD("A"), IntD(r.A), TextD("GT")},
+				{TextD("B"), IntD(r.B), TextD("TG")},
+				{TextD("C"), IntD(r.C), TextD("SI")},
+			}
+		},
+	},
+	"m_tables": {
+		info: viewInfo("m_tables", []ColumnDef{
+			{Name: "name", Type: TText}, {Name: "id", Type: TInt},
+			{Name: "partitions", Type: TInt}}),
+		build: func(s *Session) [][]Datum {
+			tables := s.cat.Tables()
+			sort.Slice(tables, func(i, j int) bool { return tables[i].ID < tables[j].ID })
+			rows := make([][]Datum, 0, len(tables))
+			for _, t := range tables {
+				parts := int64(s.cat.DB().TablePartitions(t.ID))
+				rows = append(rows, []Datum{TextD(t.Name), IntD(int64(t.ID)), IntD(parts)})
+			}
+			return rows
+		},
+	},
+}
+
+func viewInfo(name string, cols []ColumnDef) *TableInfo {
+	return newTableInfo(name, 0, cols)
+}
+
+// lookupView resolves a monitoring view by (case-insensitive) name.
+func lookupView(name string) (view, bool) {
+	v, ok := views[strings.ToLower(name)]
+	return v, ok
+}

@@ -1,0 +1,309 @@
+package sts
+
+import (
+	"sync"
+
+	"hybridgc/internal/ts"
+)
+
+// Registry owns the global STS tracker, the per-table trackers created on
+// demand by the table garbage collector, and the pre-materialized union of
+// all of them (§4.4). Snapshots interact with the registry through Handles.
+type Registry struct {
+	global *Tracker
+	union  *Tracker
+
+	mu       sync.RWMutex
+	perTable map[ts.TableID]*Tracker
+	perPart  map[ts.TableID]map[ts.PartitionID]*Tracker
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		global:   NewTracker(),
+		union:    NewTracker(),
+		perTable: make(map[ts.TableID]*Tracker),
+		perPart:  make(map[ts.TableID]map[ts.PartitionID]*Tracker),
+	}
+}
+
+// Handle is what one snapshot holds while active. It pins its timestamp in
+// the global tracker (or, after the table collector scoped it, in one or more
+// per-table trackers) and always in the union tracker.
+type Handle struct {
+	reg *Registry
+	ts  ts.CID
+
+	mu       sync.Mutex
+	scoped   []ts.TableID // nil while in the global tracker and unscoped
+	refs     []*Ref       // global ref, per-table refs, or per-partition refs
+	unionRef *Ref
+	released bool
+}
+
+// TS returns the snapshot timestamp the handle pins.
+func (h *Handle) TS() ts.CID { return h.ts }
+
+// Scoped returns the tables the handle was narrowed to by table GC, or nil
+// while it still pins the global tracker.
+func (h *Handle) Scoped() []ts.TableID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]ts.TableID(nil), h.scoped...)
+}
+
+// Acquire pins timestamp c in the global tracker (and in the union) and
+// returns the handle the snapshot must release when it finishes.
+func (r *Registry) Acquire(c ts.CID) *Handle {
+	return &Handle{
+		reg:      r,
+		ts:       c,
+		refs:     []*Ref{r.global.Acquire(c)},
+		unionRef: r.union.Acquire(c),
+	}
+}
+
+// Release drops every reference the handle holds. Safe to call exactly once;
+// a second call panics, mirroring a double snapshot close.
+func (h *Handle) Release() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.released {
+		panic("sts: Handle released twice")
+	}
+	h.released = true
+	for _, r := range h.refs {
+		r.Release()
+	}
+	h.refs = nil
+	h.unionRef.Release()
+}
+
+// ScopeToTables is the table collector's step 2 (§4.3): the snapshot's
+// timestamp moves from the global tracker to the per-table trackers of the
+// given tables. The union is unaffected. Scoping an already-scoped or
+// released handle is a no-op; callers pass the complete table set once.
+// It reports whether the move happened.
+func (h *Handle) ScopeToTables(tables []ts.TableID) bool {
+	if len(tables) == 0 {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.released || h.scoped != nil {
+		return false
+	}
+	newRefs := make([]*Ref, 0, len(tables))
+	for _, tid := range tables {
+		newRefs = append(newRefs, h.reg.tableTracker(tid).Acquire(h.ts))
+	}
+	for _, r := range h.refs {
+		r.Release()
+	}
+	h.refs = newRefs
+	h.scoped = append([]ts.TableID(nil), tables...)
+	return true
+}
+
+// ScopeToPartitions is the partition-granular variant of ScopeToTables
+// (§4.3's finer-granular semantic optimization): the snapshot's timestamp
+// moves from the global tracker to the per-partition trackers of the given
+// partitions of one table, so it only blocks reclamation inside those
+// partitions. Reports whether the move happened.
+func (h *Handle) ScopeToPartitions(table ts.TableID, parts []ts.PartitionID) bool {
+	if len(parts) == 0 {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.released || h.scoped != nil {
+		return false
+	}
+	newRefs := make([]*Ref, 0, len(parts))
+	for _, p := range parts {
+		newRefs = append(newRefs, h.reg.partTracker(table, p).Acquire(h.ts))
+	}
+	for _, r := range h.refs {
+		r.Release()
+	}
+	h.refs = newRefs
+	h.scoped = []ts.TableID{table}
+	return true
+}
+
+// partTracker returns (creating on demand) the tracker for one partition.
+func (r *Registry) partTracker(tid ts.TableID, p ts.PartitionID) *Tracker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byPart := r.perPart[tid]
+	if byPart == nil {
+		byPart = make(map[ts.PartitionID]*Tracker)
+		r.perPart[tid] = byPart
+	}
+	tr := byPart[p]
+	if tr == nil {
+		tr = NewTracker()
+		byPart[p] = tr
+	}
+	return tr
+}
+
+// tableTracker returns (creating on demand) the per-table tracker for tid.
+func (r *Registry) tableTracker(tid ts.TableID) *Tracker {
+	r.mu.RLock()
+	tr, ok := r.perTable[tid]
+	r.mu.RUnlock()
+	if ok {
+		return tr
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tr, ok = r.perTable[tid]; ok {
+		return tr
+	}
+	tr = NewTracker()
+	r.perTable[tid] = tr
+	return tr
+}
+
+// Global returns the global tracker (snapshots not yet scoped by table GC).
+func (r *Registry) Global() *Tracker { return r.global }
+
+// Union returns the pre-materialized union of the global tracker and all
+// per-table trackers. Its Min is the safe system-wide minimum; its Snapshot
+// is the S sequence the interval collector consumes.
+func (r *Registry) Union() *Tracker { return r.union }
+
+// UnionMin returns the minimum over the global tracker and every per-table
+// tracker, i.e. the timestamp below which the group collector may reclaim
+// whole groups even in the presence of table-scoped snapshots. ok is false
+// when no snapshot is active anywhere.
+func (r *Registry) UnionMin() (ts.CID, bool) {
+	return r.union.Min()
+}
+
+// minOf folds optional minima.
+func minOf(a ts.CID, aok bool, b ts.CID, bok bool) (ts.CID, bool) {
+	switch {
+	case aok && bok:
+		if b < a {
+			return b, true
+		}
+		return a, true
+	case aok:
+		return a, true
+	case bok:
+		return b, true
+	default:
+		return 0, false
+	}
+}
+
+// EffectiveMin returns the reclamation horizon for versions of table tid:
+// the minimum of the global tracker, the table's own tracker, and every
+// partition tracker of the table (a partition-scoped snapshot constrains
+// the whole table at this granularity). Snapshots scoped to *other* tables
+// do not constrain tid (§4.3 step 3). ok is false when nothing constrains
+// the table at all.
+func (r *Registry) EffectiveMin(tid ts.TableID) (ts.CID, bool) {
+	min, ok := r.global.Min()
+	r.mu.RLock()
+	tr := r.perTable[tid]
+	byPart := r.perPart[tid]
+	parts := make([]*Tracker, 0, len(byPart))
+	for _, pt := range byPart {
+		parts = append(parts, pt)
+	}
+	r.mu.RUnlock()
+	if tr != nil {
+		m, o := tr.Min()
+		min, ok = minOf(min, ok, m, o)
+	}
+	for _, pt := range parts {
+		m, o := pt.Min()
+		min, ok = minOf(min, ok, m, o)
+	}
+	return min, ok
+}
+
+// EffectiveMinAt returns the reclamation horizon for versions inside one
+// partition: the minimum of the global tracker, the table tracker, and that
+// partition's own tracker — snapshots scoped to *other* partitions of the
+// same table do not constrain it. This is the finer horizon the
+// partition-level table collector uses.
+func (r *Registry) EffectiveMinAt(tid ts.TableID, p ts.PartitionID) (ts.CID, bool) {
+	min, ok := r.global.Min()
+	r.mu.RLock()
+	tr := r.perTable[tid]
+	var pt *Tracker
+	if byPart := r.perPart[tid]; byPart != nil {
+		pt = byPart[p]
+	}
+	r.mu.RUnlock()
+	if tr != nil {
+		m, o := tr.Min()
+		min, ok = minOf(min, ok, m, o)
+	}
+	if pt != nil {
+		m, o := pt.Min()
+		min, ok = minOf(min, ok, m, o)
+	}
+	return min, ok
+}
+
+// SnapshotFor returns the ascending set of snapshot timestamps that constrain
+// table tid: the global tracker plus tid's per-table and per-partition
+// trackers. This is the table-aware S sequence for interval collection; the
+// paper's implementation uses the full union instead, which
+// Union().Snapshot() provides.
+func (r *Registry) SnapshotFor(tid ts.TableID) []ts.CID {
+	out := r.global.Snapshot()
+	r.mu.RLock()
+	tr := r.perTable[tid]
+	byPart := r.perPart[tid]
+	parts := make([]*Tracker, 0, len(byPart))
+	for _, pt := range byPart {
+		parts = append(parts, pt)
+	}
+	r.mu.RUnlock()
+	if tr != nil {
+		out = mergeSorted(out, tr.Snapshot())
+	}
+	for _, pt := range parts {
+		out = mergeSorted(out, pt.Snapshot())
+	}
+	return out
+}
+
+// TableTrackerCount returns how many per-table trackers exist (monitoring).
+func (r *Registry) TableTrackerCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.perTable)
+}
+
+// mergeSorted merges two ascending CID slices, dropping duplicates.
+func mergeSorted(a, b []ts.CID) []ts.CID {
+	out := make([]ts.CID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v ts.CID
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			v = a[i]
+			i++
+		case i == len(a) || b[j] < a[i]:
+			v = b[j]
+			j++
+		default: // equal
+			v = a[i]
+			i++
+			j++
+		}
+		if n := len(out); n == 0 || out[n-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package sts implements the snapshot timestamp trackers of §4.1 and §4.3 of
+// the paper: the global STS tracker (an ordered list of reference-counted
+// snapshot timestamp values whose head is the global minimum), per-table STS
+// trackers used by the table garbage collector, and the pre-materialized
+// union of all trackers that the group and interval collectors consult once
+// table GC has moved snapshots out of the global tracker (§4.4).
+package sts
+
+import (
+	"sync"
+
+	"hybridgc/internal/ts"
+)
+
+// node is one reference-counted snapshot timestamp value in a tracker's
+// ordered list.
+type node struct {
+	ts         ts.CID
+	refs       int
+	prev, next *node
+}
+
+// Tracker is an ordered list of reference-counted snapshot timestamp values.
+// When a snapshot starts it acquires its timestamp value; equal values share
+// one node whose reference count is incremented, so the list stays as short
+// as the number of distinct active timestamps. The minimum is read from the
+// head without scanning (§4.1, Figure 6).
+//
+// The zero value is not usable; call NewTracker.
+type Tracker struct {
+	mu   sync.Mutex
+	head *node
+	tail *node
+	byTS map[ts.CID]*node
+	// acquired counts Acquire calls over the tracker's lifetime; used by
+	// monitoring only.
+	acquired uint64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{byTS: make(map[ts.CID]*node)}
+}
+
+// Ref is a snapshot's handle on one timestamp value inside one tracker.
+// Release must be called exactly once.
+type Ref struct {
+	tr *Tracker
+	n  *node
+}
+
+// TS returns the timestamp value this reference pins.
+func (r *Ref) TS() ts.CID { return r.n.ts }
+
+// Acquire registers one reference to timestamp c and returns the handle. If c
+// is already tracked its reference count is incremented; otherwise a new node
+// is inserted in timestamp order.
+func (t *Tracker) Acquire(c ts.CID) *Ref {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.acquired++
+	if n, ok := t.byTS[c]; ok {
+		n.refs++
+		return &Ref{tr: t, n: n}
+	}
+	n := &node{ts: c, refs: 1}
+	t.byTS[c] = n
+	// Insert in order. Acquisitions are near-monotonic (new snapshots get
+	// fresh, larger timestamps), so walk from the tail.
+	switch {
+	case t.tail == nil:
+		t.head, t.tail = n, n
+	case t.tail.ts < c:
+		n.prev = t.tail
+		t.tail.next = n
+		t.tail = n
+	default:
+		at := t.tail
+		for at.prev != nil && at.prev.ts > c {
+			at = at.prev
+		}
+		// insert before at
+		n.next = at
+		n.prev = at.prev
+		if at.prev != nil {
+			at.prev.next = n
+		} else {
+			t.head = n
+		}
+		at.prev = n
+	}
+	return &Ref{tr: t, n: n}
+}
+
+// Release drops one reference. When a node's count reaches zero it is removed
+// from the list, potentially advancing the tracker minimum.
+func (r *Ref) Release() {
+	t := r.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := r.n
+	n.refs--
+	if n.refs > 0 {
+		return
+	}
+	if n.refs < 0 {
+		panic("sts: Ref released twice")
+	}
+	delete(t.byTS, n.ts)
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+}
+
+// Min returns the smallest tracked timestamp. ok is false when the tracker is
+// empty (no active snapshot pins anything).
+func (t *Tracker) Min() (c ts.CID, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.head == nil {
+		return 0, false
+	}
+	return t.head.ts, true
+}
+
+// Max returns the largest tracked timestamp, or ok=false when empty.
+func (t *Tracker) Max() (c ts.CID, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tail == nil {
+		return 0, false
+	}
+	return t.tail.ts, true
+}
+
+// Snapshot returns all distinct tracked timestamps in ascending order. This
+// is the full scan the interval collector performs as its first step (§4.2
+// step 1).
+func (t *Tracker) Snapshot() []ts.CID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ts.CID, 0, len(t.byTS))
+	for n := t.head; n != nil; n = n.next {
+		out = append(out, n.ts)
+	}
+	return out
+}
+
+// Len returns the number of distinct tracked timestamp values.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byTS)
+}
+
+// Acquired returns the lifetime count of Acquire calls.
+func (t *Tracker) Acquired() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.acquired
+}

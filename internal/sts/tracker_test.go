@@ -1,0 +1,385 @@
+package sts
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hybridgc/internal/ts"
+)
+
+func TestTrackerMinHead(t *testing.T) {
+	tr := NewTracker()
+	if _, ok := tr.Min(); ok {
+		t.Fatal("empty tracker must report no minimum")
+	}
+	r5 := tr.Acquire(5)
+	r3 := tr.Acquire(3)
+	r9 := tr.Acquire(9)
+	if m, ok := tr.Min(); !ok || m != 3 {
+		t.Fatalf("Min = %d,%v want 3,true", m, ok)
+	}
+	if m, ok := tr.Max(); !ok || m != 9 {
+		t.Fatalf("Max = %d,%v want 9,true", m, ok)
+	}
+	r3.Release()
+	if m, _ := tr.Min(); m != 5 {
+		t.Fatalf("Min after release = %d, want 5", m)
+	}
+	r5.Release()
+	r9.Release()
+	if _, ok := tr.Min(); ok {
+		t.Fatal("tracker should be empty")
+	}
+}
+
+func TestTrackerRefCounting(t *testing.T) {
+	tr := NewTracker()
+	a := tr.Acquire(7)
+	b := tr.Acquire(7)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (shared node)", tr.Len())
+	}
+	a.Release()
+	if m, ok := tr.Min(); !ok || m != 7 {
+		t.Fatal("node must survive while one ref remains")
+	}
+	b.Release()
+	if tr.Len() != 0 {
+		t.Fatal("node must be removed when refs reach zero")
+	}
+}
+
+func TestTrackerDoubleReleasePanics(t *testing.T) {
+	tr := NewTracker()
+	r := tr.Acquire(1)
+	r.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release must panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestTrackerSnapshotOrdered(t *testing.T) {
+	tr := NewTracker()
+	vals := []ts.CID{9, 2, 5, 2, 14, 1}
+	for _, v := range vals {
+		tr.Acquire(v)
+	}
+	want := []ts.CID{1, 2, 5, 9, 14}
+	if got := tr.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Snapshot = %v, want %v", got, want)
+	}
+}
+
+func TestTrackerOutOfOrderInsertRelease(t *testing.T) {
+	tr := NewTracker()
+	r := rand.New(rand.NewSource(11))
+	var refs []*Ref
+	live := make(map[*Ref]ts.CID)
+	for i := 0; i < 2000; i++ {
+		if len(refs) == 0 || r.Intn(3) != 0 {
+			c := ts.CID(r.Intn(100) + 1)
+			ref := tr.Acquire(c)
+			refs = append(refs, ref)
+			live[ref] = c
+		} else {
+			k := r.Intn(len(refs))
+			ref := refs[k]
+			refs = append(refs[:k], refs[k+1:]...)
+			ref.Release()
+			delete(live, ref)
+		}
+		// Model check: distinct live values, sorted.
+		seen := map[ts.CID]bool{}
+		var want []ts.CID
+		for _, c := range live {
+			if !seen[c] {
+				seen[c] = true
+				want = append(want, c)
+			}
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		got := tr.Snapshot()
+		if len(want) == 0 {
+			want = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: Snapshot = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				ref := tr.Acquire(ts.CID(r.Intn(64) + 1))
+				if m, ok := tr.Min(); !ok || m > ref.TS() {
+					t.Errorf("Min %d exceeds live ref %d", m, ref.TS())
+					ref.Release()
+					return
+				}
+				ref.Release()
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if tr.Len() != 0 {
+		t.Fatalf("tracker not empty after all releases: %d", tr.Len())
+	}
+}
+
+func TestRegistryScopeMovesSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Acquire(100) // will become the long-lived, scoped snapshot
+	h2 := r.Acquire(200)
+
+	if m, ok := r.UnionMin(); !ok || m != 100 {
+		t.Fatalf("UnionMin = %d,%v want 100", m, ok)
+	}
+	if !h1.ScopeToTables([]ts.TableID{1}) {
+		t.Fatal("scoping must succeed")
+	}
+	// Global tracker no longer holds 100.
+	if m, ok := r.Global().Min(); !ok || m != 200 {
+		t.Fatalf("global Min = %d,%v want 200", m, ok)
+	}
+	// Union still does.
+	if m, _ := r.UnionMin(); m != 100 {
+		t.Fatalf("UnionMin = %d, want 100", m)
+	}
+	// Table 1 is constrained at 100, table 2 only by the global tracker.
+	if m, _ := r.EffectiveMin(1); m != 100 {
+		t.Fatalf("EffectiveMin(1) = %d, want 100", m)
+	}
+	if m, _ := r.EffectiveMin(2); m != 200 {
+		t.Fatalf("EffectiveMin(2) = %d, want 200", m)
+	}
+	if got := h1.Scoped(); !reflect.DeepEqual(got, []ts.TableID{1}) {
+		t.Fatalf("Scoped = %v", got)
+	}
+
+	h1.Release()
+	if m, _ := r.EffectiveMin(1); m != 200 {
+		t.Fatalf("EffectiveMin(1) after release = %d, want 200", m)
+	}
+	h2.Release()
+	if _, ok := r.UnionMin(); ok {
+		t.Fatal("registry should be empty")
+	}
+}
+
+func TestRegistryFigure8(t *testing.T) {
+	// Figure 8 of the paper: long-lived snapshots S1 (ts 2057, scope Table 1)
+	// and S2 (ts 2089, scope Table 2); remaining global snapshots from 2100.
+	// Records outside tables 1 and 2 use minimum 2100; records in table 1 use
+	// 2057 and in table 2 use 2089.
+	r := NewRegistry()
+	s1 := r.Acquire(2057)
+	s2 := r.Acquire(2089)
+	g := r.Acquire(2100)
+	defer g.Release()
+
+	s1.ScopeToTables([]ts.TableID{1})
+	s2.ScopeToTables([]ts.TableID{2})
+
+	if m, _ := r.EffectiveMin(1); m != 2057 {
+		t.Errorf("table 1 min = %d, want 2057", m)
+	}
+	if m, _ := r.EffectiveMin(2); m != 2089 {
+		t.Errorf("table 2 min = %d, want 2089", m)
+	}
+	if m, _ := r.EffectiveMin(3); m != 2100 {
+		t.Errorf("table 3 min = %d, want 2100", m)
+	}
+	if m, _ := r.UnionMin(); m != 2057 {
+		t.Errorf("union min = %d, want 2057", m)
+	}
+	want := []ts.CID{2057, 2089, 2100}
+	if got := r.Union().Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("union snapshot = %v, want %v", got, want)
+	}
+	s1.Release()
+	s2.Release()
+}
+
+func TestRegistrySnapshotFor(t *testing.T) {
+	r := NewRegistry()
+	a := r.Acquire(10)
+	b := r.Acquire(20)
+	c := r.Acquire(30)
+	defer b.Release()
+	defer c.Release()
+	a.ScopeToTables([]ts.TableID{7})
+
+	if got, want := r.SnapshotFor(7), []ts.CID{10, 20, 30}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SnapshotFor(7) = %v, want %v", got, want)
+	}
+	if got, want := r.SnapshotFor(8), []ts.CID{20, 30}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SnapshotFor(8) = %v, want %v", got, want)
+	}
+	a.Release()
+	if got, want := r.SnapshotFor(7), []ts.CID{20, 30}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SnapshotFor(7) after release = %v, want %v", got, want)
+	}
+}
+
+func TestScopeEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	h := r.Acquire(5)
+	if h.ScopeToTables(nil) {
+		t.Error("scoping to zero tables must be refused")
+	}
+	if !h.ScopeToTables([]ts.TableID{1, 2}) {
+		t.Error("first scope must succeed")
+	}
+	if h.ScopeToTables([]ts.TableID{3}) {
+		t.Error("second scope must be a no-op")
+	}
+	// Scope to two tables: both constrained.
+	if m, _ := r.EffectiveMin(1); m != 5 {
+		t.Error("table 1 must be constrained")
+	}
+	if m, _ := r.EffectiveMin(2); m != 5 {
+		t.Error("table 2 must be constrained")
+	}
+	if _, ok := r.EffectiveMin(3); ok {
+		t.Error("table 3 must be unconstrained")
+	}
+	h.Release()
+	if h.ScopeToTables([]ts.TableID{1}) {
+		t.Error("scoping a released handle must be refused")
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	got := mergeSorted([]ts.CID{1, 3, 5}, []ts.CID{1, 2, 5, 9})
+	want := []ts.CID{1, 2, 3, 5, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mergeSorted = %v, want %v", got, want)
+	}
+	if got := mergeSorted(nil, nil); len(got) != 0 {
+		t.Fatalf("mergeSorted(nil,nil) = %v", got)
+	}
+}
+
+func TestPartitionScoping(t *testing.T) {
+	r := NewRegistry()
+	long := r.Acquire(50)
+	cur := r.Acquire(100)
+	defer cur.Release()
+
+	if !long.ScopeToPartitions(7, []ts.PartitionID{0, 2}) {
+		t.Fatal("partition scoping must succeed")
+	}
+	if long.ScopeToPartitions(7, []ts.PartitionID{1}) {
+		t.Fatal("second scope must be refused")
+	}
+	// Global tracker no longer holds 50; union still does.
+	if m, _ := r.Global().Min(); m != 100 {
+		t.Fatalf("global min = %d", m)
+	}
+	if m, _ := r.UnionMin(); m != 50 {
+		t.Fatalf("union min = %d", m)
+	}
+	// Partition-granular horizons: scoped partitions pinned at 50, the
+	// others only by the global tracker.
+	if m, _ := r.EffectiveMinAt(7, 0); m != 50 {
+		t.Fatalf("EffectiveMinAt(7,0) = %d", m)
+	}
+	if m, _ := r.EffectiveMinAt(7, 2); m != 50 {
+		t.Fatalf("EffectiveMinAt(7,2) = %d", m)
+	}
+	if m, _ := r.EffectiveMinAt(7, 1); m != 100 {
+		t.Fatalf("EffectiveMinAt(7,1) = %d", m)
+	}
+	// Table-level horizon stays conservative (min over partitions).
+	if m, _ := r.EffectiveMin(7); m != 50 {
+		t.Fatalf("EffectiveMin(7) = %d", m)
+	}
+	// Other tables unaffected.
+	if m, _ := r.EffectiveMin(8); m != 100 {
+		t.Fatalf("EffectiveMin(8) = %d", m)
+	}
+	// Table-aware snapshot set includes the partition trackers.
+	if got := r.SnapshotFor(7); fmt.Sprint(got) != "[50 100]" {
+		t.Fatalf("SnapshotFor(7) = %v", got)
+	}
+	if got := r.SnapshotFor(8); fmt.Sprint(got) != "[100]" {
+		t.Fatalf("SnapshotFor(8) = %v", got)
+	}
+	long.Release()
+	if m, _ := r.EffectiveMinAt(7, 0); m != 100 {
+		t.Fatalf("EffectiveMinAt after release = %d", m)
+	}
+}
+
+// TestTrackerQuickMinInvariant property-checks the tracker against a
+// multiset model with testing/quick: after any acquire/release sequence the
+// tracker's Min/Max/Snapshot equal the model's.
+func TestTrackerQuickMinInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tr := NewTracker()
+		var refs []*Ref
+		counts := map[ts.CID]int{}
+		for _, op := range ops {
+			if op%3 != 0 || len(refs) == 0 {
+				c := ts.CID(op%17 + 1)
+				refs = append(refs, tr.Acquire(c))
+				counts[c]++
+			} else {
+				i := int(op) % len(refs)
+				ref := refs[i]
+				refs = append(refs[:i], refs[i+1:]...)
+				counts[ref.TS()]--
+				if counts[ref.TS()] == 0 {
+					delete(counts, ref.TS())
+				}
+				ref.Release()
+			}
+			var want []ts.CID
+			for c := range counts {
+				want = append(want, c)
+			}
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			got := tr.Snapshot()
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			if len(want) > 0 {
+				if m, ok := tr.Min(); !ok || m != want[0] {
+					return false
+				}
+				if m, ok := tr.Max(); !ok || m != want[len(want)-1] {
+					return false
+				}
+			} else if _, ok := tr.Min(); ok {
+				return false
+			}
+		}
+		for _, r := range refs {
+			r.Release()
+		}
+		return tr.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

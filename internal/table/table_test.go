@@ -1,0 +1,106 @@
+package table
+
+import (
+	"testing"
+
+	"hybridgc/internal/mvcc"
+	"hybridgc/internal/ts"
+)
+
+// Compile-time check: *Record satisfies the version space's record handle.
+var _ mvcc.RecordRef = (*Record)(nil)
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	a, err := c.Create("STOCK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Create("ORDERS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID || a.ID == 0 {
+		t.Fatalf("table IDs must be distinct and nonzero: %d %d", a.ID, b.ID)
+	}
+	if _, err := c.Create("STOCK"); err == nil {
+		t.Fatal("duplicate table name must fail")
+	}
+	if c.ByName("STOCK") != a || c.ByID(b.ID) != b {
+		t.Fatal("lookups broken")
+	}
+	tables := c.Tables()
+	if len(tables) != 2 || tables[0] != a || tables[1] != b {
+		t.Fatalf("Tables() = %v", tables)
+	}
+	if c.ByName("NOPE") != nil || c.ByID(99) != nil {
+		t.Fatal("missing lookups must return nil")
+	}
+}
+
+func TestRecordLifecycle(t *testing.T) {
+	c := NewCatalog()
+	tbl, _ := c.Create("T")
+	rid := tbl.AllocRID()
+	if rid != 1 {
+		t.Fatalf("first RID = %d", rid)
+	}
+	r, err := tbl.CreateRecord(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateRecord(rid); err == nil {
+		t.Fatal("duplicate RID must fail")
+	}
+	if r.Image() != nil {
+		t.Fatal("fresh record must have no image (insert unmigrated)")
+	}
+	if r.Versioned() {
+		t.Fatal("fresh record must be unversioned")
+	}
+	r.SetVersioned(true)
+	r.InstallImage([]byte("img"))
+	if string(r.Image()) != "img" || !r.Versioned() {
+		t.Fatal("image/flag not installed")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	r.DropRecord()
+	if !r.Dropped() || tbl.Get(rid) != nil || tbl.Len() != 0 {
+		t.Fatal("drop must remove the record")
+	}
+	// Dropping again is harmless.
+	r.DropRecord()
+}
+
+func TestForEachOrder(t *testing.T) {
+	c := NewCatalog()
+	tbl, _ := c.Create("T")
+	for i := 0; i < 5; i++ {
+		if _, err := tbl.CreateRecord(tbl.AllocRID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl.Get(3).DropRecord()
+	var rids []ts.RID
+	tbl.ForEach(func(r *Record) bool {
+		rids = append(rids, r.Key().RID)
+		return true
+	})
+	want := []ts.RID{1, 2, 4, 5}
+	if len(rids) != len(want) {
+		t.Fatalf("visited %v", rids)
+	}
+	for i := range want {
+		if rids[i] != want[i] {
+			t.Fatalf("visited %v, want %v", rids, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	tbl.ForEach(func(*Record) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}

@@ -1,0 +1,113 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hybridgc/internal/core"
+	"hybridgc/internal/ts"
+	"hybridgc/internal/txn"
+)
+
+// Attach binds a driver to a database that already contains the TPC-C
+// tables — typically one recovered from the persistency — and rebuilds the
+// driver's in-memory indexes (order RID maps, undelivered-order FIFOs,
+// last-order and last-name lookups) by scanning. cfg must match the
+// configuration the data was loaded with.
+func Attach(db *core.DB, cfg Config) (*Driver, error) {
+	cfg.fill()
+	d := &Driver{DB: db, cfg: cfg}
+	ids, err := db.TableIDs(TableWarehouse, TableDistrict, TableCustomer,
+		TableHistory, TableNewOrder, TableOrders, TableOrderLine, TableItem, TableStock)
+	if err != nil {
+		return nil, fmt.Errorf("tpcc: attach: %w", err)
+	}
+	d.t = tables{
+		warehouse: ids[0], district: ids[1], customer: ids[2], history: ids[3],
+		newOrder: ids[4], orders: ids[5], orderLine: ids[6], item: ids[7], stock: ids[8],
+	}
+	d.nu = newNURandC(rand.New(rand.NewSource(cfg.Seed)))
+	d.dist = make([][]*districtState, cfg.Warehouses)
+	for w := range d.dist {
+		d.dist[w] = make([]*districtState, cfg.Districts)
+		for i := range d.dist[w] {
+			d.dist[w][i] = newDistrictState()
+		}
+	}
+	if err := d.rebuildState(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// rebuildState scans the dynamic tables under one consistent snapshot and
+// reconstructs every driver-side index.
+func (d *Driver) rebuildState() error {
+	tx := d.DB.Begin(txn.TransSI)
+	defer tx.Abort()
+
+	// Customers: last-name groups.
+	err := tx.Scan(d.t.customer, func(_ ts.RID, img []byte) bool {
+		c, derr := DecodeCustomer(img)
+		if derr != nil {
+			return true
+		}
+		st := d.state(c.W, c.D)
+		st.byLastName[c.Last] = append(st.byLastName[c.Last], c.ID)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	// Orders: RID map, last order per customer.
+	err = tx.Scan(d.t.orders, func(rid ts.RID, img []byte) bool {
+		o, derr := DecodeOrder(img)
+		if derr != nil {
+			return true
+		}
+		st := d.state(o.W, o.D)
+		st.orderRID[o.ID] = rid
+		if o.ID > st.lastOrderOf[o.CID] {
+			st.lastOrderOf[o.CID] = o.ID
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	// Order lines, in RID (insertion) order, which is line-number order.
+	err = tx.Scan(d.t.orderLine, func(rid ts.RID, img []byte) bool {
+		l, derr := DecodeOrderLine(img)
+		if derr != nil {
+			return true
+		}
+		st := d.state(l.W, l.D)
+		st.orderLines[l.OID] = append(st.orderLines[l.OID], rid)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	// Undelivered orders: the NEW-ORDER rows, queued oldest-first.
+	err = tx.Scan(d.t.newOrder, func(rid ts.RID, img []byte) bool {
+		n, derr := DecodeNewOrder(img)
+		if derr != nil {
+			return true
+		}
+		st := d.state(n.W, n.D)
+		st.newOrderRID[n.OID] = rid
+		st.pending = append(st.pending, n.OID)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	// FIFO order is by order id, not RID scan order.
+	for w := range d.dist {
+		for _, st := range d.dist[w] {
+			sort.Slice(st.pending, func(i, j int) bool { return st.pending[i] < st.pending[j] })
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package tpcc
+
+import "math/rand"
+
+// TPC-C clause 2.1.6 non-uniform random distribution and clause 4.3.2.3
+// last-name generation.
+
+// nuRandC holds the per-run constants of the NURand function.
+type nuRandC struct {
+	cLast, cCID, cOLID uint32
+}
+
+func newNURandC(r *rand.Rand) nuRandC {
+	return nuRandC{
+		cLast: uint32(r.Intn(256)),
+		cCID:  uint32(r.Intn(1024)),
+		cOLID: uint32(r.Intn(8192)),
+	}
+}
+
+// nuRand is NURand(A, x, y) = (((rand(0,A) | rand(x,y)) + C) % (y-x+1)) + x.
+func nuRand(r *rand.Rand, a, c, x, y uint32) uint32 {
+	return ((uint32(r.Intn(int(a+1)))|(x+uint32(r.Intn(int(y-x+1)))))+c)%(y-x+1) + x
+}
+
+var lastNameSyllables = [10]string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// lastName builds the TPC-C customer last name from a number in [0, 999].
+func lastName(n uint32) string {
+	return lastNameSyllables[n/100%10] + lastNameSyllables[n/10%10] + lastNameSyllables[n%10]
+}
+
+// randLastNameNum draws the non-uniform last-name number used by Payment and
+// Order-Status lookups, scaled to the configured customer count.
+func (c nuRandC) randLastNameNum(r *rand.Rand, customers int) uint32 {
+	max := uint32(customers - 1)
+	if max > 999 {
+		max = 999
+	}
+	return nuRand(r, 255, c.cLast, 0, max)
+}
+
+// randCustomerID draws the non-uniform customer id in [1, customers].
+func (c nuRandC) randCustomerID(r *rand.Rand, customers int) uint32 {
+	return nuRand(r, 1023, c.cCID, 1, uint32(customers))
+}
+
+// randItemID draws the non-uniform item id in [1, items].
+func (c nuRandC) randItemID(r *rand.Rand, items int) uint32 {
+	return nuRand(r, 8191, c.cOLID, 1, uint32(items))
+}
+
+// randRange returns a uniform integer in [lo, hi].
+func randRange(r *rand.Rand, lo, hi int) int {
+	return lo + r.Intn(hi-lo+1)
+}
+
+// alphaString returns a random string of letters with length in [lo, hi].
+func alphaString(r *rand.Rand, lo, hi int) string {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+	n := randRange(r, lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return string(b)
+}

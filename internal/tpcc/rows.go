@@ -1,0 +1,301 @@
+package tpcc
+
+// Row types for the nine TPC-C tables. Money amounts are int64 cents;
+// date/time fields are Unix nanoseconds. Each type has a symmetric
+// Encode/Decode pair over the engine's opaque payloads.
+
+// Warehouse is one WAREHOUSE row.
+type Warehouse struct {
+	ID   uint32
+	Name string
+	Tax  int64 // basis points
+	YTD  int64 // cents
+}
+
+// Encode serializes the row.
+func (w *Warehouse) Encode() []byte {
+	e := newEnc(32)
+	e.u32(w.ID)
+	e.str(w.Name)
+	e.i64(w.Tax)
+	e.i64(w.YTD)
+	return e.bytes()
+}
+
+// DecodeWarehouse parses a WAREHOUSE row.
+func DecodeWarehouse(b []byte) (Warehouse, error) {
+	d := newDec(b)
+	w := Warehouse{ID: d.u32(), Name: d.str(), Tax: d.i64(), YTD: d.i64()}
+	return w, d.finish()
+}
+
+// District is one DISTRICT row.
+type District struct {
+	W       uint32
+	ID      uint32
+	Name    string
+	Tax     int64
+	YTD     int64
+	NextOID uint32
+}
+
+// Encode serializes the row.
+func (r *District) Encode() []byte {
+	e := newEnc(40)
+	e.u32(r.W)
+	e.u32(r.ID)
+	e.str(r.Name)
+	e.i64(r.Tax)
+	e.i64(r.YTD)
+	e.u32(r.NextOID)
+	return e.bytes()
+}
+
+// DecodeDistrict parses a DISTRICT row.
+func DecodeDistrict(b []byte) (District, error) {
+	d := newDec(b)
+	r := District{W: d.u32(), ID: d.u32(), Name: d.str(), Tax: d.i64(), YTD: d.i64(), NextOID: d.u32()}
+	return r, d.finish()
+}
+
+// Customer is one CUSTOMER row.
+type Customer struct {
+	W           uint32
+	D           uint32
+	ID          uint32
+	First       string
+	Middle      string
+	Last        string
+	Credit      string // "GC" or "BC"
+	CreditLim   int64
+	Discount    int64 // basis points
+	Balance     int64
+	YTDPayment  int64
+	PaymentCnt  uint32
+	DeliveryCnt uint32
+	Data        string
+}
+
+// Encode serializes the row.
+func (c *Customer) Encode() []byte {
+	e := newEnc(128)
+	e.u32(c.W)
+	e.u32(c.D)
+	e.u32(c.ID)
+	e.str(c.First)
+	e.str(c.Middle)
+	e.str(c.Last)
+	e.str(c.Credit)
+	e.i64(c.CreditLim)
+	e.i64(c.Discount)
+	e.i64(c.Balance)
+	e.i64(c.YTDPayment)
+	e.u32(c.PaymentCnt)
+	e.u32(c.DeliveryCnt)
+	e.str(c.Data)
+	return e.bytes()
+}
+
+// DecodeCustomer parses a CUSTOMER row.
+func DecodeCustomer(b []byte) (Customer, error) {
+	d := newDec(b)
+	c := Customer{
+		W: d.u32(), D: d.u32(), ID: d.u32(),
+		First: d.str(), Middle: d.str(), Last: d.str(), Credit: d.str(),
+		CreditLim: d.i64(), Discount: d.i64(), Balance: d.i64(),
+		YTDPayment: d.i64(), PaymentCnt: d.u32(), DeliveryCnt: d.u32(),
+		Data: d.str(),
+	}
+	return c, d.finish()
+}
+
+// History is one HISTORY row.
+type History struct {
+	CW     uint32
+	CD     uint32
+	CID    uint32
+	W      uint32
+	D      uint32
+	Date   int64
+	Amount int64
+	Data   string
+}
+
+// Encode serializes the row.
+func (h *History) Encode() []byte {
+	e := newEnc(64)
+	e.u32(h.CW)
+	e.u32(h.CD)
+	e.u32(h.CID)
+	e.u32(h.W)
+	e.u32(h.D)
+	e.i64(h.Date)
+	e.i64(h.Amount)
+	e.str(h.Data)
+	return e.bytes()
+}
+
+// DecodeHistory parses a HISTORY row.
+func DecodeHistory(b []byte) (History, error) {
+	d := newDec(b)
+	h := History{CW: d.u32(), CD: d.u32(), CID: d.u32(), W: d.u32(), D: d.u32(),
+		Date: d.i64(), Amount: d.i64(), Data: d.str()}
+	return h, d.finish()
+}
+
+// Order is one ORDERS row.
+type Order struct {
+	W        uint32
+	D        uint32
+	ID       uint32
+	CID      uint32
+	EntryD   int64
+	Carrier  uint32 // 0 = not delivered yet
+	OLCnt    uint32
+	AllLocal bool
+}
+
+// Encode serializes the row.
+func (o *Order) Encode() []byte {
+	e := newEnc(40)
+	e.u32(o.W)
+	e.u32(o.D)
+	e.u32(o.ID)
+	e.u32(o.CID)
+	e.i64(o.EntryD)
+	e.u32(o.Carrier)
+	e.u32(o.OLCnt)
+	e.bool(o.AllLocal)
+	return e.bytes()
+}
+
+// DecodeOrder parses an ORDERS row.
+func DecodeOrder(b []byte) (Order, error) {
+	d := newDec(b)
+	o := Order{W: d.u32(), D: d.u32(), ID: d.u32(), CID: d.u32(),
+		EntryD: d.i64(), Carrier: d.u32(), OLCnt: d.u32(), AllLocal: d.bool()}
+	return o, d.finish()
+}
+
+// NewOrderRow is one NEW-ORDER row.
+type NewOrderRow struct {
+	W   uint32
+	D   uint32
+	OID uint32
+}
+
+// Encode serializes the row.
+func (n *NewOrderRow) Encode() []byte {
+	e := newEnc(12)
+	e.u32(n.W)
+	e.u32(n.D)
+	e.u32(n.OID)
+	return e.bytes()
+}
+
+// DecodeNewOrder parses a NEW-ORDER row.
+func DecodeNewOrder(b []byte) (NewOrderRow, error) {
+	d := newDec(b)
+	n := NewOrderRow{W: d.u32(), D: d.u32(), OID: d.u32()}
+	return n, d.finish()
+}
+
+// OrderLine is one ORDER-LINE row.
+type OrderLine struct {
+	W         uint32
+	D         uint32
+	OID       uint32
+	Number    uint32
+	ItemID    uint32
+	SupplyW   uint32
+	DeliveryD int64 // 0 = not delivered
+	Qty       uint32
+	Amount    int64
+	DistInfo  string
+}
+
+// Encode serializes the row.
+func (l *OrderLine) Encode() []byte {
+	e := newEnc(72)
+	e.u32(l.W)
+	e.u32(l.D)
+	e.u32(l.OID)
+	e.u32(l.Number)
+	e.u32(l.ItemID)
+	e.u32(l.SupplyW)
+	e.i64(l.DeliveryD)
+	e.u32(l.Qty)
+	e.i64(l.Amount)
+	e.str(l.DistInfo)
+	return e.bytes()
+}
+
+// DecodeOrderLine parses an ORDER-LINE row.
+func DecodeOrderLine(b []byte) (OrderLine, error) {
+	d := newDec(b)
+	l := OrderLine{W: d.u32(), D: d.u32(), OID: d.u32(), Number: d.u32(),
+		ItemID: d.u32(), SupplyW: d.u32(), DeliveryD: d.i64(), Qty: d.u32(),
+		Amount: d.i64(), DistInfo: d.str()}
+	return l, d.finish()
+}
+
+// Item is one ITEM row.
+type Item struct {
+	ID    uint32
+	ImID  uint32
+	Name  string
+	Price int64
+	Data  string
+}
+
+// Encode serializes the row.
+func (i *Item) Encode() []byte {
+	e := newEnc(64)
+	e.u32(i.ID)
+	e.u32(i.ImID)
+	e.str(i.Name)
+	e.i64(i.Price)
+	e.str(i.Data)
+	return e.bytes()
+}
+
+// DecodeItem parses an ITEM row.
+func DecodeItem(b []byte) (Item, error) {
+	d := newDec(b)
+	i := Item{ID: d.u32(), ImID: d.u32(), Name: d.str(), Price: d.i64(), Data: d.str()}
+	return i, d.finish()
+}
+
+// Stock is one STOCK row.
+type Stock struct {
+	W         uint32
+	ItemID    uint32
+	Qty       int32
+	Dist      string
+	YTD       int64
+	OrderCnt  uint32
+	RemoteCnt uint32
+	Data      string
+}
+
+// Encode serializes the row.
+func (s *Stock) Encode() []byte {
+	e := newEnc(96)
+	e.u32(s.W)
+	e.u32(s.ItemID)
+	e.i32(s.Qty)
+	e.str(s.Dist)
+	e.i64(s.YTD)
+	e.u32(s.OrderCnt)
+	e.u32(s.RemoteCnt)
+	e.str(s.Data)
+	return e.bytes()
+}
+
+// DecodeStock parses a STOCK row.
+func DecodeStock(b []byte) (Stock, error) {
+	d := newDec(b)
+	s := Stock{W: d.u32(), ItemID: d.u32(), Qty: d.i32(), Dist: d.str(),
+		YTD: d.i64(), OrderCnt: d.u32(), RemoteCnt: d.u32(), Data: d.str()}
+	return s, d.finish()
+}

@@ -1,0 +1,33 @@
+package ts
+
+// The scalar identifier domains shared by every layer of the engine live
+// here, next to the timestamp domain, so that low-level packages (snapshot
+// trackers, version space) can name tables and records without importing the
+// catalog.
+
+// TableID identifies a table in the catalog. IDs are dense and start at 1; 0
+// is never a valid table.
+type TableID uint32
+
+// RID identifies a record within one table (the "record identifier" of the
+// paper's version headers). RIDs are unique per table, not globally.
+type RID uint64
+
+// RecordKey names one record globally: the (table, RID) pair under which
+// version chains are registered in the RID hash table.
+type RecordKey struct {
+	Table TableID
+	RID   RID
+}
+
+// PartitionID identifies one partition of a partitioned table. Partitions
+// are numbered from 0; unpartitioned tables have no partition identity.
+type PartitionID uint32
+
+// PartKey names one partition globally, the granularity of the
+// partition-level semantic optimization §4.3 describes as possible beyond
+// HANA's table-level implementation.
+type PartKey struct {
+	Table     TableID
+	Partition PartitionID
+}

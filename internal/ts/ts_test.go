@@ -1,0 +1,238 @@
+package ts
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func cids(vs ...uint64) []CID {
+	out := make([]CID, len(vs))
+	for i, v := range vs {
+		out[i] = CID(v)
+	}
+	return out
+}
+
+func TestLGN(t *testing.T) {
+	s := cids(1, 4, 6, 8, 12, 14)
+	cases := []struct {
+		t    CID
+		want CID
+	}{
+		{0, 1},
+		{1, 1},
+		{2, 4},
+		{10, 12}, // the paper's worked example: LGN(10, S) = 12
+		{14, 14},
+		{15, Infinity}, // the paper's worked example: LGN(15, S) = Infinity
+	}
+	for _, c := range cases {
+		if got := LGN(c.t, s); got != c.want {
+			t.Errorf("LGN(%d, %v) = %d, want %d", c.t, s, got, c.want)
+		}
+	}
+}
+
+func TestLGNEmptySequence(t *testing.T) {
+	if got := LGN(5, nil); got != Infinity {
+		t.Errorf("LGN on empty sequence = %d, want Infinity", got)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Start: 4, End: 5}
+	if !iv.Contains(4) {
+		t.Error("interval [4,5) must contain 4")
+	}
+	if iv.Contains(5) {
+		t.Error("interval [4,5) must not contain 5")
+	}
+	if iv.Contains(3) {
+		t.Error("interval [4,5) must not contain 3")
+	}
+	if iv.Empty() {
+		t.Error("interval [4,5) is not empty")
+	}
+	if !(Interval{Start: 4, End: 4}).Empty() {
+		t.Error("interval [4,4) is empty")
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	// Figure 1 of the paper: record 1 has versions with CIDs 1,2,4,5,99 and
+	// visible intervals {[1,2), [2,4), [4,5), [5,99), [99, Infinity)}.
+	got := Intervals(cids(1, 2, 4, 5, 99))
+	want := []Interval{
+		{1, 2}, {2, 4}, {4, 5}, {5, 99}, {99, Infinity},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Intervals = %v, want %v", got, want)
+	}
+}
+
+func TestMergeIntersectPaperExample(t *testing.T) {
+	// Definition 1's worked example: S = [90,92,95,96,99], T = [91,93,94,95,98]
+	// yields T∩ = {93, 94}.
+	s := cids(90, 92, 95, 96, 99)
+	tt := cids(91, 93, 94, 95, 98)
+	got := MergeIntersect(s, tt)
+	want := cids(93, 94)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeIntersect = %v, want %v", got, want)
+	}
+	if naive := NaiveIntersect(s, tt); !reflect.DeepEqual(naive, want) {
+		t.Errorf("NaiveIntersect = %v, want %v", naive, want)
+	}
+}
+
+func TestMergeIntersectFigure1(t *testing.T) {
+	// Figure 1: record versions at CIDs 1,2,4,5,99; active snapshot
+	// timestamps 3 and 99 (the two active transactions). The global minimum
+	// timestamp is 3, so the conventional collector reclaims only v11 (CID 1).
+	// Interval GC additionally identifies v13 (CID 4, interval [4,5)) and v14
+	// (CID 5, interval [5,99)) — no active snapshot falls in either interval.
+	s := cids(3, 99)
+	versions := cids(1, 2, 4, 5, 99)
+	got := MergeIntersect(s, versions)
+	want := cids(1, 4, 5)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeIntersect = %v, want %v", got, want)
+	}
+}
+
+func TestMergeIntersectEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		s, t []CID
+		want []CID
+	}{
+		{"empty versions", cids(1, 2), nil, nil},
+		{"single version never garbage", cids(1, 2), cids(5), nil},
+		{"no snapshots: all but last garbage", nil, cids(1, 2, 3), cids(1, 2)},
+		{"snapshot inside every interval", cids(1, 2, 3), cids(1, 2, 3), nil},
+		{"all snapshots below versions", cids(1, 2), cids(10, 20, 30), cids(10, 20)},
+		{"all snapshots above versions", cids(100, 200), cids(10, 20, 30), cids(10, 20)},
+		{"snapshot equal to version start pins it", cids(10), cids(10, 20), nil},
+		{"snapshot equal to interval end does not pin", cids(20), cids(10, 20), cids(10)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := MergeIntersect(c.s, c.t); !reflect.DeepEqual(got, c.want) {
+				t.Errorf("MergeIntersect(%v, %v) = %v, want %v", c.s, c.t, got, c.want)
+			}
+			if got := NaiveIntersect(c.s, c.t); !reflect.DeepEqual(got, c.want) {
+				t.Errorf("NaiveIntersect(%v, %v) = %v, want %v", c.s, c.t, got, c.want)
+			}
+		})
+	}
+}
+
+// randSeq builds a sorted sequence of CIDs in [1, bound) with distinct
+// elements when strict is set.
+func randSeq(r *rand.Rand, n int, bound uint64, strict bool) []CID {
+	seen := make(map[uint64]bool, n)
+	out := make([]CID, 0, n)
+	for len(out) < n {
+		v := uint64(r.Int63n(int64(bound))) + 1
+		if strict && seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, CID(v))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestMergeMatchesNaiveQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func(sn, tn uint8) bool {
+		s := randSeq(r, int(sn%24), 64, false)
+		tt := randSeq(r, int(tn%24), 64, true)
+		return reflect.DeepEqual(MergeIntersect(s, tt), NaiveIntersect(s, tt))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntersectDefinition checks both implementations directly against
+// Definition 1: t ∈ T∩ iff no active snapshot timestamp lies inside the
+// visible interval [t, next(t)).
+func TestIntersectDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 500; iter++ {
+		s := randSeq(r, r.Intn(16), 40, false)
+		tt := randSeq(r, r.Intn(16), 40, true)
+		var want []CID
+		ivs := Intervals(tt)
+		for i := 0; i+1 < len(tt); i++ {
+			pinned := false
+			for _, snap := range s {
+				if ivs[i].Contains(snap) {
+					pinned = true
+					break
+				}
+			}
+			if !pinned {
+				want = append(want, tt[i])
+			}
+		}
+		if got := MergeIntersect(s, tt); !reflect.DeepEqual(got, want) {
+			t.Fatalf("s=%v t=%v: merge=%v want=%v", s, tt, got, want)
+		}
+		if got := NaiveIntersect(s, tt); !reflect.DeepEqual(got, want) {
+			t.Fatalf("s=%v t=%v: naive=%v want=%v", s, tt, got, want)
+		}
+	}
+}
+
+func TestGarbageMask(t *testing.T) {
+	s := cids(3, 99)
+	tt := cids(1, 2, 4, 5, 99)
+	mask := GarbageMask(s, tt)
+	want := []bool{true, false, true, true, false}
+	if !reflect.DeepEqual(mask, want) {
+		t.Errorf("GarbageMask = %v, want %v", mask, want)
+	}
+}
+
+func TestGarbageMaskNeverMarksLast(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 200; iter++ {
+		s := randSeq(r, r.Intn(10), 30, false)
+		tt := randSeq(r, 1+r.Intn(10), 30, true)
+		mask := GarbageMask(s, tt)
+		if len(mask) != len(tt) {
+			t.Fatalf("mask length %d != %d", len(mask), len(tt))
+		}
+		if mask[len(mask)-1] {
+			t.Fatalf("latest version marked garbage: s=%v t=%v", s, tt)
+		}
+	}
+}
+
+func BenchmarkMergeIntersect(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	s := randSeq(r, 256, 1<<20, false)
+	tt := randSeq(r, 256, 1<<20, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeIntersect(s, tt)
+	}
+}
+
+func BenchmarkNaiveIntersect(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	s := randSeq(r, 256, 1<<20, false)
+	tt := randSeq(r, 256, 1<<20, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NaiveIntersect(s, tt)
+	}
+}

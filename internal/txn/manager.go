@@ -1,0 +1,429 @@
+// Package txn implements the unified transaction manager of §2: snapshot
+// acquisition for statement-level and transaction-level snapshot isolation,
+// write-write conflict detection, abort/undo, and the group commit protocol
+// that assigns one CID per commit group through a single atomic store on the
+// GroupCommitContext (§2.2), followed by asynchronous backward CID
+// propagation. It also hosts the system monitor that tracks every active
+// snapshot's age and table scope for the table garbage collector (§4.3).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridgc/internal/mvcc"
+	"hybridgc/internal/sts"
+	"hybridgc/internal/ts"
+)
+
+// Isolation selects the snapshot isolation variant of §1.
+type Isolation int
+
+const (
+	// StmtSI is statement-level snapshot isolation, HANA's default: every
+	// statement reads at its own fresh snapshot.
+	StmtSI Isolation = iota
+	// TransSI is transaction-level snapshot isolation: one snapshot at
+	// transaction begin covers every read in the transaction.
+	TransSI
+)
+
+// String implements fmt.Stringer.
+func (i Isolation) String() string {
+	if i == TransSI {
+		return "Trans-SI"
+	}
+	return "Stmt-SI"
+}
+
+// Errors returned by the transaction layer.
+var (
+	ErrWriteConflict = errors.New("txn: write-write conflict")
+	ErrClosed        = errors.New("txn: manager closed")
+	ErrNotActive     = errors.New("txn: transaction is not active")
+)
+
+// CommitLogger makes a commit group durable before it becomes visible: the
+// committer calls LogCommit with the group's CID and member contexts after
+// choosing the CID but before publishing it, and only publishes on success.
+// A failure rolls the whole group back and surfaces the error to every
+// member's Commit call. This is how the common persistency of §2.1 hooks
+// into group commit.
+type CommitLogger interface {
+	LogCommit(cid ts.CID, members []*mvcc.TransContext) error
+}
+
+// Config tunes the group committer.
+type Config struct {
+	// GroupCommitMaxBatch caps how many transactions share one commit group.
+	// Defaults to 64.
+	GroupCommitMaxBatch int
+	// GroupCommitWindow is how long the committer waits to fill a batch
+	// after the first request. Zero (the default) batches only what is
+	// already queued, which keeps single-threaded commits fast while still
+	// grouping concurrent ones.
+	GroupCommitWindow time.Duration
+	// SynchronousPropagation makes backward CID propagation happen inside
+	// the commit call instead of on the background propagator. Used by
+	// deterministic tests.
+	SynchronousPropagation bool
+	// CommitLogger, when set, makes commit groups durable before they become
+	// visible (write-ahead logging).
+	CommitLogger CommitLogger
+}
+
+func (c *Config) fill() {
+	if c.GroupCommitMaxBatch <= 0 {
+		c.GroupCommitMaxBatch = 64
+	}
+}
+
+// Stats is a point-in-time counter snapshot of the manager.
+type Stats struct {
+	TxnsCommitted   int64
+	TxnsAborted     int64
+	GroupsCommitted int64
+	Propagated      int64
+	LastCID         ts.CID
+}
+
+// Manager is the unified transaction manager.
+type Manager struct {
+	cfg   Config
+	space *mvcc.Space
+	reg   *sts.Registry
+	mon   *Monitor
+
+	commitTS  atomic.Uint64
+	nextTxnID atomic.Uint64
+	// snapMu makes snapshot acquisition atomic with tracker registration,
+	// so SnapshotSetAndBound can promise that later snapshots sit at or
+	// above its bound.
+	snapMu sync.Mutex
+
+	commitCh chan *commitReq
+	propCh   chan *mvcc.GroupCommitContext
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	// sendGate serializes commit submission against shutdown: senders hold
+	// the read side while enqueueing, Close takes the write side before
+	// signalling quit, so every request that entered the channel is seen by
+	// the committer's final drain and answered — no sender can block
+	// forever on its done channel.
+	sendGate   sync.RWMutex
+	sendClosed bool
+
+	txnsCommitted   atomic.Int64
+	txnsAborted     atomic.Int64
+	groupsCommitted atomic.Int64
+	propagated      atomic.Int64
+}
+
+// NewManager creates a manager over the given version space and snapshot
+// registry, and starts the group committer and CID propagator.
+func NewManager(space *mvcc.Space, reg *sts.Registry, cfg Config) *Manager {
+	cfg.fill()
+	m := &Manager{
+		cfg:      cfg,
+		space:    space,
+		reg:      reg,
+		mon:      newMonitor(),
+		commitCh: make(chan *commitReq, 1024),
+		propCh:   make(chan *mvcc.GroupCommitContext, 1024),
+		quit:     make(chan struct{}),
+	}
+	m.wg.Add(2)
+	go m.committer()
+	go m.propagator()
+	return m
+}
+
+// Close stops the background goroutines. Commits submitted before Close
+// still receive their result (or ErrClosed from the final drain); commits
+// submitted after fail immediately with ErrClosed. Safe to call once.
+func (m *Manager) Close() {
+	if !m.closed.CompareAndSwap(false, true) {
+		return
+	}
+	// Bar new senders first; in-flight enqueues finish under the read lock,
+	// so by the time quit closes every accepted request is in the channel
+	// and the committer's final drain answers it.
+	m.sendGate.Lock()
+	m.sendClosed = true
+	m.sendGate.Unlock()
+	close(m.quit)
+	m.wg.Wait()
+}
+
+// submit enqueues a commit request unless the manager is closed.
+func (m *Manager) submit(req *commitReq) error {
+	m.sendGate.RLock()
+	defer m.sendGate.RUnlock()
+	if m.sendClosed {
+		return ErrClosed
+	}
+	m.commitCh <- req
+	return nil
+}
+
+// Space returns the version space the manager commits into.
+func (m *Manager) Space() *mvcc.Space { return m.space }
+
+// Registry returns the snapshot timestamp registry.
+func (m *Manager) Registry() *sts.Registry { return m.reg }
+
+// Monitor returns the active-snapshot monitor.
+func (m *Manager) Monitor() *Monitor { return m.mon }
+
+// CurrentTS returns the latest assigned commit identifier — the value a new
+// snapshot adopts as its timestamp.
+func (m *Manager) CurrentTS() ts.CID { return ts.CID(m.commitTS.Load()) }
+
+// GlobalHorizon returns the timestamp below which whole versions are
+// invisible to every active snapshot: the minimum over the global and all
+// per-table trackers (§4.4), or CurrentTS()+1 when no snapshot is active.
+func (m *Manager) GlobalHorizon() ts.CID {
+	if min, ok := m.reg.UnionMin(); ok {
+		return min
+	}
+	return m.CurrentTS() + 1
+}
+
+// TableHorizon returns the reclamation horizon for one table: the minimum of
+// the global tracker and that table's own tracker (§4.3 step 3), or
+// CurrentTS()+1 when nothing constrains the table.
+func (m *Manager) TableHorizon(tid ts.TableID) ts.CID {
+	if min, ok := m.reg.EffectiveMin(tid); ok {
+		return min
+	}
+	return m.CurrentTS() + 1
+}
+
+// PartitionHorizon returns the reclamation horizon for versions inside one
+// partition of a table, or CurrentTS()+1 when nothing constrains it.
+func (m *Manager) PartitionHorizon(tid ts.TableID, p ts.PartitionID) ts.CID {
+	if min, ok := m.reg.EffectiveMinAt(tid, p); ok {
+		return min
+	}
+	return m.CurrentTS() + 1
+}
+
+// ActiveTimestamps returns the ascending set of all active snapshot
+// timestamps (global plus per-table trackers) — the S sequence of the
+// interval collector.
+func (m *Manager) ActiveTimestamps() []ts.CID {
+	return m.reg.Union().Snapshot()
+}
+
+// SnapshotSetAndBound atomically captures the active snapshot timestamp set
+// together with the current commit timestamp. Snapshot acquisition holds the
+// same latch, so every snapshot registered after this call returns has a
+// timestamp >= the returned bound — the safety condition interval
+// reclamation needs to collect versions above max(S) up to the bound.
+func (m *Manager) SnapshotSetAndBound() ([]ts.CID, ts.CID) {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	return m.reg.Union().Snapshot(), m.CurrentTS()
+}
+
+// Stats returns current counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		TxnsCommitted:   m.txnsCommitted.Load(),
+		TxnsAborted:     m.txnsAborted.Load(),
+		GroupsCommitted: m.groupsCommitted.Load(),
+		Propagated:      m.propagated.Load(),
+		LastCID:         m.CurrentTS(),
+	}
+}
+
+type commitReq struct {
+	tctx *mvcc.TransContext
+	done chan commitResult
+}
+
+type commitResult struct {
+	cid ts.CID
+	err error
+}
+
+// committer is the single goroutine that forms commit groups: it drains
+// queued commit requests into a batch, creates one GroupCommitContext for
+// the whole batch, assigns the CID with one atomic store, then advances the
+// global commit timestamp and releases the waiters.
+func (m *Manager) committer() {
+	defer m.wg.Done()
+	for {
+		var first *commitReq
+		select {
+		case first = <-m.commitCh:
+		case <-m.quit:
+			m.failPending()
+			return
+		}
+		batch := []*commitReq{first}
+		batch = m.fillBatch(batch)
+		m.commitBatch(batch)
+	}
+}
+
+// fillBatch gathers more queued requests, waiting up to the configured
+// window for stragglers.
+func (m *Manager) fillBatch(batch []*commitReq) []*commitReq {
+	var deadline <-chan time.Time
+	if m.cfg.GroupCommitWindow > 0 {
+		t := time.NewTimer(m.cfg.GroupCommitWindow)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for len(batch) < m.cfg.GroupCommitMaxBatch {
+		select {
+		case r := <-m.commitCh:
+			batch = append(batch, r)
+		case <-deadline:
+			return batch
+		default:
+			if deadline == nil {
+				return batch
+			}
+			select {
+			case r := <-m.commitCh:
+				batch = append(batch, r)
+			case <-deadline:
+				return batch
+			case <-m.quit:
+				return batch
+			}
+		}
+	}
+	return batch
+}
+
+func (m *Manager) commitBatch(batch []*commitReq) {
+	// Split out barrier requests (tctx == nil): they are acknowledged after
+	// every real commit in this batch is published, giving callers a fence
+	// over the committer's FIFO.
+	var barriers []*commitReq
+	tcs := make([]*mvcc.TransContext, 0, len(batch))
+	real := make([]*commitReq, 0, len(batch))
+	for _, r := range batch {
+		if r.tctx == nil {
+			barriers = append(barriers, r)
+			continue
+		}
+		tcs = append(tcs, r.tctx)
+		real = append(real, r)
+	}
+	if len(real) == 0 {
+		for _, r := range barriers {
+			r.done <- commitResult{}
+		}
+		return
+	}
+	cid := ts.CID(m.commitTS.Load()) + 1
+	// Write-ahead logging: the group must be durable before anything makes
+	// it visible. The CID is chosen but not yet assigned, so concurrent
+	// readers cannot observe the group while it is being logged.
+	if logger := m.cfg.CommitLogger; logger != nil {
+		if err := logger.LogCommit(cid, tcs); err != nil {
+			m.rollbackBatch(tcs)
+			for _, r := range real {
+				r.done <- commitResult{err: fmt.Errorf("txn: commit logging failed: %w", err)}
+			}
+			for _, r := range barriers {
+				r.done <- commitResult{}
+			}
+			return
+		}
+	}
+	gcc := mvcc.NewGroup(tcs)
+	// Publish the CID on the group first: the single store below makes every
+	// version of every member transaction resolvable. Only then advance the
+	// global commit timestamp, so a snapshot that adopts the new timestamp
+	// is guaranteed to see the whole group.
+	gcc.AssignCID(cid)
+	m.commitTS.Store(uint64(cid))
+	m.space.Groups.Append(gcc)
+	m.groupsCommitted.Add(1)
+	m.txnsCommitted.Add(int64(len(real)))
+	for _, r := range real {
+		r.done <- commitResult{cid: cid}
+	}
+	for _, r := range barriers {
+		r.done <- commitResult{}
+	}
+	if m.cfg.SynchronousPropagation {
+		m.propagated.Add(int64(gcc.Propagate()))
+		return
+	}
+	select {
+	case m.propCh <- gcc:
+	default:
+		// Propagator backlogged; propagate inline rather than dropping.
+		m.propagated.Add(int64(gcc.Propagate()))
+	}
+}
+
+// rollbackBatch undoes every version of a batch whose logging failed.
+func (m *Manager) rollbackBatch(tcs []*mvcc.TransContext) {
+	for _, tc := range tcs {
+		vs := tc.Versions()
+		for i := len(vs) - 1; i >= 0; i-- {
+			m.space.Rollback(vs[i])
+		}
+	}
+}
+
+// Barrier blocks until every commit submitted before it has been published
+// (or failed). Checkpointing fences on it after rotating the log so the
+// snapshot it takes covers everything written to the closed segments.
+func (m *Manager) Barrier() error {
+	req := &commitReq{done: make(chan commitResult, 1)}
+	if err := m.submit(req); err != nil {
+		return err
+	}
+	res := <-req.done
+	return res.err
+}
+
+// SetCommitTS installs the recovered commit timestamp. Must be called before
+// any transaction runs.
+func (m *Manager) SetCommitTS(c ts.CID) { m.commitTS.Store(uint64(c)) }
+
+// failPending drains and fails requests still queued at shutdown.
+func (m *Manager) failPending() {
+	for {
+		select {
+		case r := <-m.commitCh:
+			r.done <- commitResult{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// propagator performs the asynchronous backward CID propagation of §2.2:
+// writing the group CID into each member version so later visibility checks
+// need no pointer chase.
+func (m *Manager) propagator() {
+	defer m.wg.Done()
+	for {
+		select {
+		case g := <-m.propCh:
+			m.propagated.Add(int64(g.Propagate()))
+		case <-m.quit:
+			for {
+				select {
+				case g := <-m.propCh:
+					m.propagated.Add(int64(g.Propagate()))
+				default:
+					return
+				}
+			}
+		}
+	}
+}

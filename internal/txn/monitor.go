@@ -1,0 +1,81 @@
+package txn
+
+import (
+	"sync"
+	"time"
+
+	"hybridgc/internal/ts"
+)
+
+// Monitor is the system monitor of §4.3 step 1: it keeps track of every
+// active snapshot's status so the table garbage collector can discover
+// long-lived snapshots and their table scopes.
+type Monitor struct {
+	mu   sync.Mutex
+	live map[*Snapshot]struct{}
+}
+
+func newMonitor() *Monitor {
+	return &Monitor{live: make(map[*Snapshot]struct{})}
+}
+
+func (mo *Monitor) add(s *Snapshot) {
+	mo.mu.Lock()
+	mo.live[s] = struct{}{}
+	mo.mu.Unlock()
+}
+
+func (mo *Monitor) remove(s *Snapshot) {
+	mo.mu.Lock()
+	delete(mo.live, s)
+	mo.mu.Unlock()
+}
+
+// Active returns the currently active snapshots (unordered).
+func (mo *Monitor) Active() []*Snapshot {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	out := make([]*Snapshot, 0, len(mo.live))
+	for s := range mo.live {
+		out = append(out, s)
+	}
+	return out
+}
+
+// ActiveCount returns the number of active snapshots.
+func (mo *Monitor) ActiveCount() int {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return len(mo.live)
+}
+
+// LongLived returns snapshots older than threshold whose complete table
+// scope is known and that have not yet been moved to per-table trackers —
+// the candidates of the table collector's first step.
+func (mo *Monitor) LongLived(threshold time.Duration) []*Snapshot {
+	var out []*Snapshot
+	for _, s := range mo.Active() {
+		if s.Age() >= threshold && s.ScopeKnown() && !s.Scoped() && !s.Released() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// OldestTS returns the minimum timestamp over active snapshots, or ok=false
+// when none are active. Used by monitoring output (the "Active Commit ID
+// Range" of Figure 2 is CurrentTS minus this value).
+func (mo *Monitor) OldestTS() (ts.CID, bool) {
+	min := ts.Infinity
+	found := false
+	for _, s := range mo.Active() {
+		if t := s.TS(); t < min {
+			min = t
+			found = true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return min, true
+}

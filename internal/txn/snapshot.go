@@ -1,0 +1,172 @@
+package txn
+
+import (
+	"sync/atomic"
+	"time"
+
+	"hybridgc/internal/sts"
+	"hybridgc/internal/ts"
+)
+
+// SnapshotKind distinguishes how a snapshot came to exist, which the monitor
+// reports and the table collector uses when deciding what can be scoped.
+type SnapshotKind int
+
+const (
+	// KindStatement is a Stmt-SI statement snapshot.
+	KindStatement SnapshotKind = iota
+	// KindCursor is a statement snapshot kept open by a client-held cursor —
+	// the paper's canonical long-lived garbage collection blocker.
+	KindCursor
+	// KindTransaction is a Trans-SI transaction snapshot.
+	KindTransaction
+)
+
+// String implements fmt.Stringer.
+func (k SnapshotKind) String() string {
+	switch k {
+	case KindCursor:
+		return "cursor"
+	case KindTransaction:
+		return "transaction"
+	default:
+		return "statement"
+	}
+}
+
+// Snapshot is one active read view. It pins its timestamp in the snapshot
+// registry until released. A snapshot whose table scope is known a priori
+// (always under Stmt-SI, where the compiled plan names the tables; under
+// Trans-SI only for declared-table transactions) is eligible for table GC.
+type Snapshot struct {
+	m     *Manager
+	h     *sts.Handle
+	kind  SnapshotKind
+	scope []ts.TableID
+	// parts, when non-nil, narrows the scope below table granularity: the
+	// snapshot accesses only these partitions of the (single) scope table —
+	// the partition-pruning knowledge §4.3 mentions. The table collector
+	// then scopes it to per-partition trackers.
+	parts   []ts.PartitionID
+	started time.Time
+
+	released atomic.Bool
+	killed   atomic.Bool
+}
+
+// AcquireSnapshot registers a new snapshot at the current commit timestamp.
+// scope lists the tables the snapshot will access when known a priori, or
+// nil when unpredictable (plain Trans-SI transactions, §4.3).
+func (m *Manager) AcquireSnapshot(kind SnapshotKind, scope []ts.TableID) *Snapshot {
+	return m.acquireSnapshot(kind, scope, nil)
+}
+
+// acquireSnapshot fully constructs the snapshot — including any partition
+// scope — before publishing it to the monitor, where the table collector
+// may read it concurrently.
+func (m *Manager) acquireSnapshot(kind SnapshotKind, scope []ts.TableID, parts []ts.PartitionID) *Snapshot {
+	// Reading the commit timestamp and registering it in the tracker happen
+	// under one latch so that SnapshotSetAndBound observes either the
+	// registered snapshot or a commit timestamp at or below its value.
+	m.snapMu.Lock()
+	cur := m.CurrentTS()
+	h := m.reg.Acquire(cur)
+	m.snapMu.Unlock()
+	s := &Snapshot{
+		m:       m,
+		h:       h,
+		kind:    kind,
+		scope:   append([]ts.TableID(nil), scope...),
+		parts:   append([]ts.PartitionID(nil), parts...),
+		started: time.Now(),
+	}
+	m.mon.add(s)
+	return s
+}
+
+// TS returns the snapshot timestamp: reads see versions with CID <= TS.
+func (s *Snapshot) TS() ts.CID { return s.h.TS() }
+
+// Kind returns how the snapshot was created.
+func (s *Snapshot) Kind() SnapshotKind { return s.kind }
+
+// Scope returns the declared table scope, or nil when unknown.
+func (s *Snapshot) Scope() []ts.TableID { return s.scope }
+
+// ScopeKnown reports whether the complete table set is known a priori.
+func (s *Snapshot) ScopeKnown() bool { return len(s.scope) > 0 }
+
+// InScope reports whether the snapshot may access table tid. Snapshots with
+// unknown scope may access anything; scoped snapshots are restricted, and
+// the engine reports an error on out-of-scope access, mirroring HANA's
+// declared-table API ("if the transaction tries to access a non-declared
+// table object, an error is reported", §4.3).
+func (s *Snapshot) InScope(tid ts.TableID) bool {
+	if len(s.scope) == 0 {
+		return true
+	}
+	for _, t := range s.scope {
+		if t == tid {
+			return true
+		}
+	}
+	return false
+}
+
+// AcquireSnapshotPartitions registers a snapshot whose scope is a set of
+// partitions of one table — known a priori from the query plan's
+// partition-pruning result (§4.3).
+func (m *Manager) AcquireSnapshotPartitions(kind SnapshotKind, table ts.TableID, parts []ts.PartitionID) *Snapshot {
+	return m.acquireSnapshot(kind, []ts.TableID{table}, parts)
+}
+
+// PartitionScope returns the partition-granular scope, when one was
+// declared: the scope table and its partitions.
+func (s *Snapshot) PartitionScope() (ts.TableID, []ts.PartitionID, bool) {
+	if len(s.parts) == 0 || len(s.scope) != 1 {
+		return 0, nil, false
+	}
+	return s.scope[0], s.parts, true
+}
+
+// Age returns how long the snapshot has been active.
+func (s *Snapshot) Age() time.Duration { return time.Since(s.started) }
+
+// Started returns the acquisition time.
+func (s *Snapshot) Started() time.Time { return s.started }
+
+// Handle exposes the registry handle (the table collector moves it between
+// trackers).
+func (s *Snapshot) Handle() *sts.Handle { return s.h }
+
+// Scoped reports whether the table collector already moved this snapshot to
+// per-table trackers.
+func (s *Snapshot) Scoped() bool { return s.h.Scoped() != nil }
+
+// Release ends the snapshot, dropping its tracker references and removing it
+// from the monitor. Releasing twice is a harmless no-op.
+func (s *Snapshot) Release() {
+	if !s.released.CompareAndSwap(false, true) {
+		return
+	}
+	s.m.mon.remove(s)
+	s.h.Release()
+}
+
+// Released reports whether the snapshot has ended.
+func (s *Snapshot) Released() bool { return s.released.Load() }
+
+// Kill force-closes the snapshot: its tracker references are dropped so
+// garbage collection can proceed, and subsequent operations that depend on
+// it observe Killed and must return an error to the client. This is the
+// paper's conventional workaround 2 for version-space overflow ("the system
+// closes problematic cursors or Trans-SI transactions by force and returns
+// errors to clients", §1), implemented in HANA to handle application
+// developers' mistakes.
+func (s *Snapshot) Kill() {
+	s.killed.Store(true)
+	s.Release()
+}
+
+// Killed reports whether the snapshot was force-closed.
+func (s *Snapshot) Killed() bool { return s.killed.Load() }

@@ -1,0 +1,170 @@
+package txn
+
+import (
+	"sync/atomic"
+
+	"hybridgc/internal/mvcc"
+	"hybridgc/internal/ts"
+)
+
+// state of a transaction.
+type txnState int32
+
+const (
+	stateActive txnState = iota
+	stateCommitted
+	stateAborted
+)
+
+// Txn is one transaction. Under Trans-SI it owns a snapshot from begin to
+// end; under Stmt-SI the engine acquires a fresh snapshot per statement and
+// the transaction only scopes writes and commit/abort.
+type Txn struct {
+	m        *Manager
+	id       uint64
+	iso      Isolation
+	snap     *Snapshot
+	declared []ts.TableID
+
+	tctx  *mvcc.TransContext
+	state atomic.Int32
+}
+
+// Begin starts a transaction. declared lists the tables a Trans-SI
+// transaction promises to access (HANA's declared-table API, which makes the
+// transaction's snapshot eligible for table GC); pass nil when unknown.
+// Stmt-SI transactions take no snapshot here.
+func (m *Manager) Begin(iso Isolation, declared []ts.TableID) *Txn {
+	t := &Txn{
+		m:        m,
+		id:       m.nextTxnID.Add(1),
+		iso:      iso,
+		declared: append([]ts.TableID(nil), declared...),
+	}
+	if iso == TransSI {
+		t.snap = m.AcquireSnapshot(KindTransaction, declared)
+	}
+	return t
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Isolation returns the transaction's isolation variant.
+func (t *Txn) Isolation() Isolation { return t.iso }
+
+// Snapshot returns the transaction snapshot (Trans-SI), or nil under
+// Stmt-SI.
+func (t *Txn) Snapshot() *Snapshot { return t.snap }
+
+// Declared returns the declared table scope, or nil.
+func (t *Txn) Declared() []ts.TableID { return t.declared }
+
+// Active reports whether the transaction can still read and write.
+func (t *Txn) Active() bool { return txnState(t.state.Load()) == stateActive }
+
+// Context lazily creates the transaction's TransContext on first write
+// ("when a transaction issues a write operation for the first time, it
+// creates a TransContext object", §2.2).
+func (t *Txn) Context() *mvcc.TransContext {
+	if t.tctx == nil {
+		t.tctx = mvcc.NewTransContext(t.id)
+	}
+	return t.tctx
+}
+
+// MaybeContext returns the TransContext if the transaction has written
+// anything, without creating one. Readers use it for own-write visibility.
+func (t *Txn) MaybeContext() *mvcc.TransContext { return t.tctx }
+
+// WroteAnything reports whether the transaction created any versions.
+func (t *Txn) WroteAnything() bool {
+	return t.tctx != nil && t.tctx.VersionCount() > 0
+}
+
+// ConflictCheck returns the write-write conflict predicate the engine runs
+// under the chain latch before linking a new version:
+//
+//   - an uncommitted head owned by another transaction always conflicts;
+//   - under Trans-SI, a head committed after the transaction's snapshot
+//     conflicts (first-committer-wins under snapshot isolation);
+//   - under Stmt-SI, writes apply on top of the latest committed version.
+func (t *Txn) ConflictCheck() func(head *mvcc.Version) error {
+	return func(head *mvcc.Version) error {
+		if head == nil {
+			return nil
+		}
+		if !head.Committed() {
+			if head.TransContext() == t.tctx && t.tctx != nil {
+				return nil // our own earlier write
+			}
+			return ErrWriteConflict
+		}
+		if t.iso == TransSI && head.CID() > t.snap.TS() {
+			return ErrWriteConflict
+		}
+		return nil
+	}
+}
+
+// Commit finishes the transaction. Read-only transactions just release their
+// snapshot; writers enter group commit and block until their group's CID is
+// assigned. Returns the commit identifier (ts.Invalid for read-only).
+func (t *Txn) Commit() (ts.CID, error) {
+	if !t.state.CompareAndSwap(int32(stateActive), int32(stateCommitted)) {
+		return ts.Invalid, ErrNotActive
+	}
+	if !t.WroteAnything() {
+		t.releaseSnapshot()
+		return ts.Invalid, nil
+	}
+	req := &commitReq{tctx: t.tctx, done: make(chan commitResult, 1)}
+	if err := t.m.submit(req); err != nil {
+		t.state.Store(int32(stateAborted))
+		t.undo()
+		t.releaseSnapshot()
+		return ts.Invalid, err
+	}
+	// Every submitted request is answered: Close bars new senders before
+	// signalling the committer, whose final drain fails what remains queued.
+	res := <-req.done
+	if res.err != nil {
+		t.state.Store(int32(stateAborted))
+		t.undo()
+		t.releaseSnapshot()
+		return ts.Invalid, res.err
+	}
+	// The snapshot is released only after the commit is durable in the
+	// version space, so under Trans-SI the tracker reflects the paper's
+	// observation that the timestamp is reclaimed at transaction end.
+	t.releaseSnapshot()
+	return res.cid, nil
+}
+
+// Abort rolls back every version the transaction created and releases its
+// snapshot. Aborting a finished transaction is a no-op.
+func (t *Txn) Abort() {
+	if !t.state.CompareAndSwap(int32(stateActive), int32(stateAborted)) {
+		return
+	}
+	t.undo()
+	t.releaseSnapshot()
+	t.m.txnsAborted.Add(1)
+}
+
+// undo unlinks the transaction's versions newest-first.
+func (t *Txn) undo() {
+	if t.tctx == nil {
+		return
+	}
+	vs := t.tctx.Versions()
+	for i := len(vs) - 1; i >= 0; i-- {
+		t.m.space.Rollback(vs[i])
+	}
+}
+
+func (t *Txn) releaseSnapshot() {
+	if t.snap != nil {
+		t.snap.Release()
+	}
+}

@@ -1,0 +1,183 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hybridgc/internal/ts"
+)
+
+// Checkpoint is a serialized, transactionally consistent table-space image:
+// the catalog, every record's post-image as of the checkpoint CID, and the
+// RID allocator positions. Log records with CID <= CID are covered and can
+// be dropped.
+type Checkpoint struct {
+	// CID is the commit timestamp the snapshot was taken at.
+	CID ts.CID
+	// Tables in catalog (ID) order.
+	Tables []CheckpointTable
+}
+
+// CheckpointTable is one table's slice of a checkpoint.
+type CheckpointTable struct {
+	ID      ts.TableID
+	Name    string
+	NextRID ts.RID
+	Records []CheckpointRecord
+}
+
+// CheckpointRecord is one row image.
+type CheckpointRecord struct {
+	RID   ts.RID
+	Image []byte
+}
+
+const checkpointMagic = uint32(0x48474343) // "HGCC"
+
+// WriteCheckpoint atomically writes the checkpoint to dir via a temp file
+// and rename. The whole body is checksummed.
+func WriteCheckpoint(dir string, ck *Checkpoint) error {
+	body := encodeCheckpoint(ck)
+	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	var head [12]byte
+	binary.LittleEndian.PutUint32(head[0:4], checkpointMagic)
+	binary.LittleEndian.PutUint32(head[4:8], uint32(len(body)))
+	binary.LittleEndian.PutUint32(head[8:12], crc32.Checksum(body, crcTable))
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, checkpointName))
+}
+
+// ErrNoCheckpoint reports a directory without a checkpoint (recovery then
+// replays the log from scratch).
+var ErrNoCheckpoint = errors.New("wal: no checkpoint")
+
+// ReadCheckpoint loads the checkpoint from dir.
+func ReadCheckpoint(dir string) (*Checkpoint, error) {
+	f, err := os.Open(filepath.Join(dir, checkpointName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoCheckpoint
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var head [12]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return nil, fmt.Errorf("wal: checkpoint header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(head[0:4]) != checkpointMagic {
+		return nil, errors.New("wal: bad checkpoint magic")
+	}
+	body := make([]byte, binary.LittleEndian.Uint32(head[4:8]))
+	if _, err := io.ReadFull(f, body); err != nil {
+		return nil, fmt.Errorf("wal: checkpoint body: %w", err)
+	}
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(head[8:12]) {
+		return nil, errors.New("wal: checkpoint checksum mismatch")
+	}
+	return decodeCheckpoint(body)
+}
+
+func encodeCheckpoint(ck *Checkpoint) []byte {
+	var b []byte
+	b = appendU64(b, uint64(ck.CID))
+	b = appendU32(b, uint32(len(ck.Tables)))
+	for _, t := range ck.Tables {
+		b = appendU32(b, uint32(t.ID))
+		b = appendU32(b, uint32(len(t.Name)))
+		b = append(b, t.Name...)
+		b = appendU64(b, uint64(t.NextRID))
+		b = appendU32(b, uint32(len(t.Records)))
+		for _, r := range t.Records {
+			b = appendU64(b, uint64(r.RID))
+			b = appendU32(b, uint32(len(r.Image)))
+			b = append(b, r.Image...)
+		}
+	}
+	return b
+}
+
+func decodeCheckpoint(b []byte) (*Checkpoint, error) {
+	c := &decodeCursor{b: b}
+	cid, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{CID: ts.CID(cid)}
+	ntables, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < ntables; i++ {
+		var t CheckpointTable
+		id, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		t.ID = ts.TableID(id)
+		nameLen, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		name, err := c.bytes(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		t.Name = string(name)
+		next, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		t.NextRID = ts.RID(next)
+		nrec, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint32(0); j < nrec; j++ {
+			rid, err := c.u64()
+			if err != nil {
+				return nil, err
+			}
+			ilen, err := c.u32()
+			if err != nil {
+				return nil, err
+			}
+			img, err := c.bytes(int(ilen))
+			if err != nil {
+				return nil, err
+			}
+			t.Records = append(t.Records, CheckpointRecord{
+				RID: ts.RID(rid), Image: append([]byte(nil), img...)})
+		}
+		ck.Tables = append(ck.Tables, t)
+	}
+	if c.off != len(b) {
+		return nil, errors.New("wal: trailing bytes in checkpoint")
+	}
+	return ck, nil
+}

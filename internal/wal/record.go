@@ -1,0 +1,204 @@
+// Package wal implements the common persistency of §2.1: the unified
+// transaction manager "provides durability based on logging and
+// checkpointing to a common persistency". The log is a sequence of
+// CRC-protected records — DDL records and group-commit records bundling a
+// whole commit group's operations with its CID — written and flushed before
+// commit acknowledgement; checkpoints serialize the table space at a commit
+// timestamp so older log segments can be dropped. Recovery loads the latest
+// checkpoint and replays every group-commit record above its timestamp.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"hybridgc/internal/mvcc"
+	"hybridgc/internal/ts"
+)
+
+// Kind tags a log record.
+type Kind uint8
+
+const (
+	// KindDDL records a table creation.
+	KindDDL Kind = iota + 1
+	// KindGroup records one commit group: the CID and every operation of
+	// every member transaction, in execution order.
+	KindGroup
+)
+
+// Op is one logged data operation.
+type Op struct {
+	Op      mvcc.OpType
+	Table   ts.TableID
+	RID     ts.RID
+	Payload []byte
+}
+
+// Record is one decoded log record.
+type Record struct {
+	Kind Kind
+
+	// DDL fields.
+	TableID   ts.TableID
+	TableName string
+
+	// Group fields.
+	CID ts.CID
+	Ops []Op
+}
+
+// appendU32/U64 helpers over binary.LittleEndian.
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// EncodePayload serializes the record body (without framing).
+func (r *Record) EncodePayload() []byte {
+	b := []byte{byte(r.Kind)}
+	switch r.Kind {
+	case KindDDL:
+		b = appendU32(b, uint32(r.TableID))
+		b = appendU32(b, uint32(len(r.TableName)))
+		b = append(b, r.TableName...)
+	case KindGroup:
+		b = appendU64(b, uint64(r.CID))
+		b = appendU32(b, uint32(len(r.Ops)))
+		for _, op := range r.Ops {
+			b = append(b, byte(op.Op))
+			b = appendU32(b, uint32(op.Table))
+			b = appendU64(b, uint64(op.RID))
+			b = appendU32(b, uint32(len(op.Payload)))
+			b = append(b, op.Payload...)
+		}
+	}
+	return b
+}
+
+// decodeCursor walks an encoded payload.
+type decodeCursor struct {
+	b   []byte
+	off int
+}
+
+func (c *decodeCursor) u8() (uint8, error) {
+	if c.off+1 > len(c.b) {
+		return 0, errTruncated(c.off, len(c.b))
+	}
+	v := c.b[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *decodeCursor) u32() (uint32, error) {
+	if c.off+4 > len(c.b) {
+		return 0, errTruncated(c.off, len(c.b))
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *decodeCursor) u64() (uint64, error) {
+	if c.off+8 > len(c.b) {
+		return 0, errTruncated(c.off, len(c.b))
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *decodeCursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.off+n > len(c.b) {
+		return nil, errTruncated(c.off, len(c.b))
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v, nil
+}
+
+func errTruncated(off, n int) error {
+	return fmt.Errorf("wal: truncated record at offset %d of %d", off, n)
+}
+
+// DecodePayload parses a record body.
+func DecodePayload(b []byte) (*Record, error) {
+	c := &decodeCursor{b: b}
+	kind, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	r := &Record{Kind: Kind(kind)}
+	switch r.Kind {
+	case KindDDL:
+		id, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		name, err := c.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		r.TableID = ts.TableID(id)
+		r.TableName = string(name)
+	case KindGroup:
+		cid, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		r.CID = ts.CID(cid)
+		nops, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < nops; i++ {
+			opb, err := c.u8()
+			if err != nil {
+				return nil, err
+			}
+			tid, err := c.u32()
+			if err != nil {
+				return nil, err
+			}
+			rid, err := c.u64()
+			if err != nil {
+				return nil, err
+			}
+			plen, err := c.u32()
+			if err != nil {
+				return nil, err
+			}
+			payload, err := c.bytes(int(plen))
+			if err != nil {
+				return nil, err
+			}
+			op := Op{Op: mvcc.OpType(opb), Table: ts.TableID(tid), RID: ts.RID(rid)}
+			if plen > 0 {
+				op.Payload = append([]byte(nil), payload...)
+			}
+			r.Ops = append(r.Ops, op)
+		}
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", kind)
+	}
+	if c.off != len(b) {
+		return nil, fmt.Errorf("wal: %d trailing bytes in record", len(b)-c.off)
+	}
+	return r, nil
+}
+
+// crcTable is the Castagnoli table used for record checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame wraps an encoded payload with its length and checksum:
+// [u32 length][u32 crc32c][payload].
+func Frame(payload []byte) []byte {
+	out := make([]byte, 0, 8+len(payload))
+	out = appendU32(out, uint32(len(payload)))
+	out = appendU32(out, crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"hybridgc/internal/gc"
+	"hybridgc/internal/tpcc"
+)
+
+func tinyTPCC() tpcc.Config {
+	return tpcc.Config{Warehouses: 2, Districts: 2, CustomersPerDistrict: 8, Items: 60, Seed: 7}
+}
+
+func TestModePeriods(t *testing.T) {
+	base := gc.Periods{GT: 1, TG: 2, SI: 3}
+	if p := ModeGT.Periods(base); p != (gc.Periods{GT: 1}) {
+		t.Fatalf("GT periods = %+v", p)
+	}
+	if p := ModeGTTG.Periods(base); p != (gc.Periods{GT: 1, TG: 2}) {
+		t.Fatalf("GT+TG periods = %+v", p)
+	}
+	if p := ModeHG.Periods(base); p != base {
+		t.Fatalf("HG periods = %+v", p)
+	}
+	if p := ModeNone.Periods(base); p != (gc.Periods{}) {
+		t.Fatalf("none periods = %+v", p)
+	}
+	if ModeGT.String() != "GT" || ModeGTTG.String() != "GT+TG" || ModeHG.String() != "HG" || ModeNone.String() != "none" {
+		t.Fatal("mode names broken")
+	}
+}
+
+func TestRunBasicOLTPOnly(t *testing.T) {
+	res, err := Run(Options{
+		Mode:     ModeHG,
+		TPCC:     tinyTPCC(),
+		Duration: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 || res.WorkersCommitted == 0 {
+		t.Fatalf("no work done: %+v", res)
+	}
+	if len(res.Versions.Points) < 3 {
+		t.Fatalf("too few samples: %d", len(res.Versions.Points))
+	}
+	if res.AvgThroughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+	// Without a blocker, HG keeps the version space small relative to what
+	// was created.
+	if res.Final.VersionsReclaimed == 0 {
+		t.Fatal("nothing reclaimed")
+	}
+}
+
+func TestLongCursorShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shape test")
+	}
+	run := func(m Mode) *Result {
+		res, err := Run(Options{
+			Mode: m,
+			// Faster-than-default periods so SI fires several times within
+			// the short test window; the ratio GT:TG:SI stays 1:3:10.
+			Base:               gc.Periods{GT: 20 * time.Millisecond, TG: 60 * time.Millisecond, SI: 200 * time.Millisecond},
+			LongLivedThreshold: 40 * time.Millisecond,
+			TPCC:               tinyTPCC(),
+			Duration:           900 * time.Millisecond,
+			LongCursor:         true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	gt := run(ModeGT)
+	hg := run(ModeHG)
+
+	// Figure 10's shape: with the long cursor, GT's version count keeps
+	// growing while HG stays near-flat.
+	if gt.Versions.Last() < 3*hg.Versions.Last() {
+		t.Fatalf("GT versions %.0f should dwarf HG versions %.0f",
+			gt.Versions.Last(), hg.Versions.Last())
+	}
+	// Figure 11's shape: under HG, TG and SI do real work in the presence of
+	// a cursor (GT is mostly blocked).
+	if hg.ReclaimedTG.Last() == 0 || hg.ReclaimedSI.Last() == 0 {
+		t.Fatalf("HG per-collector totals: GT=%.0f TG=%.0f SI=%.0f",
+			hg.ReclaimedGT.Last(), hg.ReclaimedTG.Last(), hg.ReclaimedSI.Last())
+	}
+}
+
+func TestIncrementalFetch(t *testing.T) {
+	res, err := Run(Options{
+		Mode:       ModeHG,
+		TPCC:       tinyTPCC(),
+		Duration:   600 * time.Millisecond,
+		LongCursor: true,
+		Fetch:      &FetchOptions{Size: 10, Think: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fetches) < 3 {
+		t.Fatalf("only %d fetches", len(res.Fetches))
+	}
+	for i, f := range res.Fetches {
+		if f.Index != i {
+			t.Fatalf("fetch indices out of order: %+v", res.Fetches)
+		}
+	}
+}
+
+func TestTransSIScenario(t *testing.T) {
+	res, err := Run(Options{
+		Mode:     ModeHG,
+		TPCC:     tinyTPCC(),
+		Duration: 700 * time.Millisecond,
+		TransSI:  &TransSIOptions{Sleep: 80 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TransSIScans) == 0 {
+		t.Fatal("no Trans-SI scans completed")
+	}
+	for _, lat := range res.TransSIScans {
+		if lat <= 0 {
+			t.Fatalf("bad scan latency %v", lat)
+		}
+	}
+}
+
+func TestModeNoneOverflows(t *testing.T) {
+	res, err := Run(Options{
+		Mode:     ModeNone,
+		TPCC:     tinyTPCC(),
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 2's phenomenon: without GC the version space only grows.
+	if res.Final.VersionsReclaimed != 0 {
+		t.Fatal("ModeNone must not reclaim")
+	}
+	if res.Versions.Last() == 0 {
+		t.Fatal("version space should have grown")
+	}
+}
