@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages (group commit, GC, version
+# space, pressure controller) with -short to keep CI latency sane.
+race:
+	$(GO) test -race -short ./internal/core/... ./internal/txn/... ./internal/gc/... ./internal/mvcc/...
+
+check: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -31,6 +31,8 @@ func main() {
 		interval = flag.Duration("interval", 500*time.Millisecond, "indicator print interval")
 		mode     = flag.String("gc", "none", "garbage collection mode: none, gt, gttg, hg")
 		cursor   = flag.Bool("cursor", true, "hold a long-duration cursor on STOCK")
+		soft     = flag.Int64("soft", 0, "version-budget soft watermark (0 disables the budget)")
+		hard     = flag.Int64("hard", 0, "version-budget hard watermark (0 derives 2*soft)")
 	)
 	flag.Parse()
 
@@ -50,7 +52,11 @@ func main() {
 	}
 
 	base := gc.Periods{GT: 50 * time.Millisecond, TG: 150 * time.Millisecond, SI: 500 * time.Millisecond}
-	db, err := core.Open(core.Config{GC: m.Periods(base), LongLivedThreshold: 100 * time.Millisecond})
+	db, err := core.Open(core.Config{
+		GC:                 m.Periods(base),
+		LongLivedThreshold: 100 * time.Millisecond,
+		VersionBudget:      core.VersionBudget{Soft: *soft, Hard: *hard},
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -84,9 +90,10 @@ func main() {
 		}(driver.NewWorker(w))
 	}
 
-	fmt.Printf("gcmon: GC=%s cursor=%v — the Figure 2 indicators\n", m, *cursor)
-	fmt.Printf("%-8s %-16s %-22s %-14s %s\n",
-		"t", "Active Versions", "Active CID Range", "Used Memory", "Reclaimed")
+	budgeted := db.PressureStats().Enabled
+	fmt.Printf("gcmon: GC=%s cursor=%v budget=%v — the Figure 2 indicators\n", m, *cursor, budgeted)
+	fmt.Printf("%-8s %-16s %-22s %-14s %-10s %s\n",
+		"t", "Active Versions", "Active CID Range", "Used Memory", "Reclaimed", "Pressure")
 	tick := time.NewTicker(*interval)
 	defer tick.Stop()
 	deadline := time.After(*duration)
@@ -97,9 +104,10 @@ loop:
 		case <-tick.C:
 			st := db.Stats()
 			mem := st.VersionsLiveBytes
-			fmt.Printf("%-8s %-16d %-22d %-14s %d\n",
+			fmt.Printf("%-8s %-16d %-22d %-14s %-10d %s\n",
 				fmt.Sprintf("%.1fs", time.Since(start).Seconds()),
-				st.VersionsLive, st.ActiveCIDRange, fmtBytes(mem), st.VersionsReclaimed)
+				st.VersionsLive, st.ActiveCIDRange, fmtBytes(mem), st.VersionsReclaimed,
+				fmtPressure(st))
 		case <-deadline:
 			break loop
 		}
@@ -107,9 +115,28 @@ loop:
 	close(stop)
 	wg.Wait()
 	st := db.Stats()
-	fmt.Printf("\nfinal: versions=%d reclaimed=%d migrated=%d collision=%.2f\n",
-		st.VersionsLive, st.VersionsReclaimed, st.VersionsMigrated, st.Hash.CollisionRatio)
+	fmt.Printf("\nfinal: versions=%d reclaimed=%d migrated=%d collision=%.2f failstop=%v\n",
+		st.VersionsLive, st.VersionsReclaimed, st.VersionsMigrated, st.Hash.CollisionRatio, st.FailStop)
+	if p := st.Pressure; p.Enabled {
+		fmt.Printf("pressure: level=%s live=%d/%d (%.0f%%) softtrips=%d emergencies=%d backpressured=%d rejected=%d evicted=%d\n",
+			p.Level, p.Live, p.Hard, 100*p.Utilization,
+			p.SoftTrips, p.Emergencies, p.Backpressured, p.Rejected, p.Evicted)
+	}
 	fmt.Println("Figure 9 regions:", gc.CurrentRegions(db.Manager()))
+}
+
+// fmtPressure renders the degradation-ladder column: "-" without a budget,
+// otherwise the current rung and hard-watermark utilization.
+func fmtPressure(st core.Stats) string {
+	p := st.Pressure
+	if !p.Enabled {
+		return "-"
+	}
+	s := fmt.Sprintf("%s %.0f%%", p.Level, 100*p.Utilization)
+	if p.Rejected > 0 || p.Evicted > 0 {
+		s += fmt.Sprintf(" (rej=%d evict=%d)", p.Rejected, p.Evicted)
+	}
+	return s
 }
 
 func fmtBytes(n int64) string {

@@ -42,6 +42,8 @@
 package hybridgc
 
 import (
+	"time"
+
 	"hybridgc/internal/core"
 	"hybridgc/internal/gc"
 	"hybridgc/internal/ts"
@@ -84,6 +86,25 @@ type (
 	TxnConfig = txn.Config
 )
 
+// Robustness types: graceful degradation under version-space pressure.
+type (
+	// VersionBudget bounds the version space with soft/hard watermarks; see
+	// the degradation ladder in DESIGN.md.
+	VersionBudget = core.VersionBudget
+	// PressureLevel is the ladder's current rung.
+	PressureLevel = core.PressureLevel
+	// PressureStats is a point-in-time view of the budget controller.
+	PressureStats = core.PressureStats
+)
+
+// Degradation ladder rungs.
+const (
+	PressureNormal       = core.PressureNormal
+	PressureSoft         = core.PressureSoft
+	PressureBackpressure = core.PressureBackpressure
+	PressureEvict        = core.PressureEvict
+)
+
 // Garbage collection types.
 type (
 	// Persistence arms write-ahead logging and checkpointing.
@@ -114,7 +135,22 @@ var (
 	ErrOutOfScope     = core.ErrOutOfScope
 	ErrCursorClosed   = core.ErrCursorClosed
 	ErrSnapshotKilled = core.ErrSnapshotKilled
+	// ErrVersionPressure rejects a write under sustained version-space
+	// pressure; transient — retry (see Retry).
+	ErrVersionPressure = core.ErrVersionPressure
+	// ErrFailStop rejects all writes after an unrecoverable durability
+	// failure; reads keep working, a restart recovers.
+	ErrFailStop = core.ErrFailStop
 )
+
+// IsTransient reports whether err is worth retrying (write conflicts,
+// version pressure).
+func IsTransient(err error) bool { return core.IsTransient(err) }
+
+// Retry runs fn with exponential backoff while it fails transiently.
+func Retry(attempts int, base time.Duration, fn func() error) error {
+	return core.Retry(attempts, base, fn)
+}
 
 // Open creates a database; with Config.Persistence set it recovers from the
 // directory's checkpoint and log first.

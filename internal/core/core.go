@@ -74,6 +74,13 @@ type Config struct {
 	// CooperativeThreshold is the traversal depth that triggers a handoff
 	// (default 8).
 	CooperativeThreshold int
+	// VersionBudget, when its watermarks are set, bounds the version space:
+	// crossing the soft watermark triggers emergency collection, sustained
+	// pressure applies writer backpressure (ErrVersionPressure after a
+	// bounded wait), and crossing the hard watermark evicts the oldest
+	// pinning snapshots (ErrSnapshotKilled for their owners). The graceful
+	// alternative to Figure 2's unbounded growth.
+	VersionBudget VersionBudget
 }
 
 // DB is one in-memory MVCC database instance.
@@ -91,6 +98,7 @@ type DB struct {
 
 	log        *wal.Log
 	persistDir string
+	fail       *failState
 
 	// Cooperative GC plumbing: readers enqueue long chains, one worker
 	// reclaims them with the current horizons. The channel is never closed
@@ -103,6 +111,9 @@ type DB struct {
 
 	watchdogStop chan struct{}
 	watchdogDone chan struct{}
+
+	// pressure is the version-budget controller, nil when unconfigured.
+	pressure *pressure
 }
 
 // Open creates a database. With Persistence configured it first recovers the
@@ -111,6 +122,10 @@ func Open(cfg Config) (*DB, error) {
 	space := mvcc.NewSpace(cfg.HashBuckets)
 	reg := sts.NewRegistry()
 	cat := table.NewCatalog()
+
+	// The fail-stop latch is allocated before the manager because the
+	// durability-failure hook goes into cfg.Txn, which NewManager consumes.
+	fail := &failState{}
 
 	var lg *wal.Log
 	var persistDir string
@@ -126,6 +141,7 @@ func Open(cfg Config) (*DB, error) {
 			return nil, err
 		}
 		cfg.Txn.CommitLogger = &walLogger{log: lg}
+		cfg.Txn.OnDurabilityFailure = fail.enter
 		persistDir = p.Dir
 	}
 
@@ -141,6 +157,7 @@ func Open(cfg Config) (*DB, error) {
 		hybrid:     gc.NewHybrid(m, cfg.GC, cfg.LongLivedThreshold),
 		log:        lg,
 		persistDir: persistDir,
+		fail:       fail,
 	}
 	db.hybrid.TG.Resolver = db.partitionResolver
 	if cfg.CooperativeGC {
@@ -155,6 +172,10 @@ func Open(cfg Config) (*DB, error) {
 	}
 	if cfg.AutoGC {
 		db.hybrid.Start()
+	}
+	if cfg.VersionBudget.enabled() {
+		cfg.VersionBudget.fill()
+		db.pressure = newPressure(db, cfg.VersionBudget)
 	}
 	if cfg.ForceCloseAge > 0 {
 		period := cfg.ForceClosePeriod
@@ -243,6 +264,10 @@ func (db *DB) Close() {
 		close(db.watchdogStop)
 		<-db.watchdogDone
 	}
+	if db.pressure != nil {
+		// Before hybrid.Stop: the controller calls into the collectors.
+		db.pressure.close()
+	}
 	db.hybrid.Stop()
 	if db.coopQuit != nil {
 		close(db.coopQuit)
@@ -269,11 +294,18 @@ func (db *DB) Space() *mvcc.Space { return db.space }
 // CreateTable registers a new table and returns its ID. With persistence on
 // the DDL is logged before the table becomes usable.
 func (db *DB) CreateTable(name string) (ts.TableID, error) {
+	if err := db.fail.check(); err != nil {
+		return 0, err
+	}
 	t, err := db.cat.Create(name)
 	if err != nil {
 		return 0, err
 	}
 	if err := db.logDDL(t.ID, name); err != nil {
+		// The table exists in memory but not in the log: if the engine kept
+		// going, a restart would lose it while commits against it survived.
+		// Latch fail-stop so nothing can write to it (or anything else).
+		db.fail.enter(err)
 		return 0, fmt.Errorf("core: logging DDL for %q: %w", name, err)
 	}
 	return t.ID, nil
@@ -380,6 +412,12 @@ type Stats struct {
 	ActiveCIDRange ts.CID
 	Txn            txn.Stats
 	GroupListLen   int
+	// FailStop reports the engine latched into read-only mode after a
+	// durability failure.
+	FailStop bool
+	// Pressure is the version-budget controller's state (zero when no
+	// VersionBudget is configured).
+	Pressure PressureStats
 }
 
 // Stats gathers current engine statistics.
@@ -402,6 +440,8 @@ func (db *DB) Stats() Stats {
 	if oldest, ok := db.m.Monitor().OldestTS(); ok {
 		st.ActiveCIDRange = st.CurrentCID - oldest
 	}
+	st.FailStop = db.fail.failed.Load()
+	st.Pressure = db.PressureStats()
 	return st
 }
 

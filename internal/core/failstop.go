@@ -1,0 +1,66 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrFailStop reports an operation rejected because the engine has latched
+// into fail-stop read-only mode after a durability failure. The wrapped cause
+// is the original I/O error.
+var ErrFailStop = errors.New("core: engine is in fail-stop read-only mode")
+
+// failState is the engine's fail-stop latch. It is a standalone struct —
+// rather than fields on DB — because the transaction manager's
+// OnDurabilityFailure hook must be installed in Config before the DB exists;
+// Open allocates the state first and shares it between the closure and the
+// DB.
+//
+// Semantics: once any commit group fails to become durable (WAL write, flush
+// or fsync error) or fails to publish after logging, no later write may be
+// accepted. The WAL itself latches too (wal.ErrLogFailed), but the engine
+// latch fires first and gives callers a stable, queryable error. Reads,
+// cursors and Stats keep working — the recovered-on-restart state is a prefix
+// of what readers can still see, and draining reads is exactly what an
+// operator wants from a wounded node.
+type failState struct {
+	failed atomic.Bool
+	mu     sync.Mutex
+	cause  error
+}
+
+// enter latches fail-stop with the first cause. Idempotent.
+func (f *failState) enter(cause error) {
+	f.mu.Lock()
+	if f.cause == nil {
+		f.cause = cause
+	}
+	f.mu.Unlock()
+	f.failed.Store(true)
+}
+
+// check returns ErrFailStop wrapping the cause when latched, nil otherwise.
+// The fast path is one atomic load.
+func (f *failState) check() error {
+	if !f.failed.Load() {
+		return nil
+	}
+	f.mu.Lock()
+	cause := f.cause
+	f.mu.Unlock()
+	return fmt.Errorf("%w: %v", ErrFailStop, cause)
+}
+
+// FailStop reports whether the engine has latched into fail-stop read-only
+// mode, and the original cause when it has.
+func (db *DB) FailStop() (bool, error) {
+	if !db.fail.failed.Load() {
+		return false, nil
+	}
+	db.fail.mu.Lock()
+	cause := db.fail.cause
+	db.fail.mu.Unlock()
+	return true, cause
+}

@@ -4,12 +4,19 @@ import (
 	"errors"
 	"fmt"
 
+	"hybridgc/internal/fault"
 	"hybridgc/internal/mvcc"
 	"hybridgc/internal/table"
 	"hybridgc/internal/ts"
 	"hybridgc/internal/txn"
 	"hybridgc/internal/wal"
 )
+
+// FPRecover fires at the start of recovery: a failure here models a crash
+// during restart (e.g. a second power cut mid-recovery). Recovery is
+// read-only over the checkpoint and log, so a subsequent Open must succeed
+// and reach the same state.
+var FPRecover = fault.Declare("core/recover", "at the start of log/checkpoint recovery")
 
 // Persistence configures the common persistency of §2.1: write-ahead
 // logging of commit groups and DDL, plus checkpointing of the table space.
@@ -49,6 +56,9 @@ func (w *walLogger) LogCommit(cid ts.CID, members []*mvcc.TransContext) error {
 // in the table space: after a restart no snapshot exists, so every row's
 // single post-image is exactly what MVCC requires.
 func recoverInto(cat *table.Catalog, dir string) (ts.CID, error) {
+	if err := fault.Hit(FPRecover); err != nil {
+		return 0, err
+	}
 	recovered := ts.CID(0)
 	ck, err := wal.ReadCheckpoint(dir)
 	switch {
@@ -143,8 +153,14 @@ func (db *DB) Checkpoint() error {
 	if db.log == nil {
 		return ErrNoPersistence
 	}
+	if err := db.fail.check(); err != nil {
+		return err
+	}
 	closedSeq, err := db.log.Rotate()
 	if err != nil {
+		// A failed rotation latches the WAL (see wal.Log); mirror it on the
+		// engine so writers stop before piling onto a dead log.
+		db.fail.enter(err)
 		return err
 	}
 	if err := db.m.Barrier(); err != nil {

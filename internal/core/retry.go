@@ -1,0 +1,46 @@
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// IsTransient reports whether err is a retriable contention failure: a
+// write-write conflict under first-committer-wins, or a write rejected under
+// version-space pressure (ErrVersionPressure). Both clear on their own —
+// the conflicting transaction finishes, the ladder frees version space — so
+// retrying with backoff is the right response. Durability failures
+// (ErrFailStop) and everything else are not transient: retrying them cannot
+// succeed.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrWriteConflict) || errors.Is(err, ErrVersionPressure)
+}
+
+// Retry runs fn up to attempts times, sleeping an exponentially growing
+// backoff (starting at base, capped at 100ms) between tries, and retries only
+// while IsTransient reports the error retriable. It returns nil on the first
+// success, a non-transient error immediately, and the last transient error
+// once attempts are exhausted. fn must be safe to re-run from scratch: any
+// state it populates has to be reset at its top.
+func Retry(attempts int, base time.Duration, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	var err error
+	wait := base
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if i < attempts-1 {
+			time.Sleep(wait)
+			if wait *= 2; wait > 100*time.Millisecond {
+				wait = 100 * time.Millisecond
+			}
+		}
+	}
+	return err
+}

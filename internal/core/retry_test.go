@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{ErrWriteConflict, true},
+		{ErrVersionPressure, true},
+		{ErrFailStop, false},
+		{ErrRecordNotFound, false},
+		{errors.New("other"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryStopsOnSuccess(t *testing.T) {
+	calls := 0
+	err := Retry(5, time.Microsecond, func() error {
+		calls++
+		if calls < 3 {
+			return ErrWriteConflict
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil after 3", err, calls)
+	}
+}
+
+func TestRetryGivesUpAfterAttempts(t *testing.T) {
+	calls := 0
+	err := Retry(4, time.Microsecond, func() error {
+		calls++
+		return ErrVersionPressure
+	})
+	if !errors.Is(err, ErrVersionPressure) || calls != 4 {
+		t.Fatalf("err=%v calls=%d, want ErrVersionPressure after 4", err, calls)
+	}
+}
+
+func TestRetryDoesNotRetryNonTransient(t *testing.T) {
+	calls := 0
+	hard := errors.New("disk on fire")
+	err := Retry(5, time.Microsecond, func() error {
+		calls++
+		return hard
+	})
+	if !errors.Is(err, hard) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want the hard error after 1 call", err, calls)
+	}
+}

@@ -124,6 +124,9 @@ func (tx *Tx) Insert(tid ts.TableID, img []byte) (ts.RID, error) {
 	if err := tx.checkWriteScope(tid); err != nil {
 		return 0, err
 	}
+	if err := tx.db.admitWrite(); err != nil {
+		return 0, err
+	}
 	rid := tbl.AllocRID()
 	rec, err := tbl.CreateRecord(rid)
 	if err != nil {
@@ -155,6 +158,9 @@ func (tx *Tx) write(op mvcc.OpType, tid ts.TableID, rid ts.RID, img []byte) erro
 		return err
 	}
 	if err := tx.checkWriteScope(tid); err != nil {
+		return err
+	}
+	if err := tx.db.admitWrite(); err != nil {
 		return err
 	}
 	// The record must be visible to the operation's snapshot.

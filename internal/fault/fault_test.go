@@ -1,0 +1,172 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledHitIsNil(t *testing.T) {
+	Reset()
+	if err := Hit("nothing/enabled"); err != nil {
+		t.Fatalf("disabled hit returned %v", err)
+	}
+}
+
+func TestEnableFiresEveryHit(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p")
+	for i := 0; i < 3; i++ {
+		if err := Hit("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: %v", i, err)
+		}
+	}
+	if got := FiredCount("p"); got != 3 {
+		t.Fatalf("fired %d, want 3", got)
+	}
+}
+
+func TestAfterSkipsFirstHits(t *testing.T) {
+	Reset()
+	defer Reset()
+	want := errors.New("boom")
+	Enable("p", After(2), ReturnErr(want))
+	if err := Hit("p"); err != nil {
+		t.Fatalf("hit 1 fired early: %v", err)
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("hit 2 fired early: %v", err)
+	}
+	if err := Hit("p"); !errors.Is(err, want) {
+		t.Fatalf("hit 3: got %v, want %v", err, want)
+	}
+}
+
+func TestOnceDisarmsAfterOneFire(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Once())
+	if err := Hit("p"); err == nil {
+		t.Fatal("first hit did not fire")
+	}
+	for i := 0; i < 5; i++ {
+		if err := Hit("p"); err != nil {
+			t.Fatalf("one-shot fired again: %v", err)
+		}
+	}
+	if got := FiredCount("p"); got != 1 {
+		t.Fatalf("fired %d, want 1", got)
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", EveryNth(3))
+	fired := 0
+	for i := 0; i < 9; i++ {
+		if Hit("p") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d of 9 hits with EveryNth(3), want 3", fired)
+	}
+}
+
+func TestTimesLimitsFires(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Times(2))
+	fired := 0
+	for i := 0; i < 6; i++ {
+		if Hit("p") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d, want 2", fired)
+	}
+}
+
+func TestSleepThenContinue(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Once(), Sleep(10*time.Millisecond))
+	start := time.Now()
+	if err := Hit("p"); err != nil {
+		t.Fatalf("sleep-only action returned error %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("hit returned after %v, want >= 10ms", d)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Panic("simulated crash"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic action did not panic")
+		}
+	}()
+	_ = Hit("p")
+}
+
+func TestDisableAndReset(t *testing.T) {
+	Reset()
+	Enable("a")
+	Enable("b")
+	Disable("a")
+	if err := Hit("a"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+	if err := Hit("b"); err == nil {
+		t.Fatal("still-enabled point did not fire")
+	}
+	Reset()
+	if err := Hit("b"); err != nil {
+		t.Fatalf("reset point fired: %v", err)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed count %d after Reset, want 0", armed.Load())
+	}
+}
+
+func TestDeclareInventory(t *testing.T) {
+	Declare("z/site", "last")
+	Declare("a/site", "first")
+	inv := Inventory()
+	if len(inv) < 2 {
+		t.Fatalf("inventory has %d sites", len(inv))
+	}
+	for i := 1; i < len(inv); i++ {
+		if inv[i-1].Name >= inv[i].Name {
+			t.Fatalf("inventory not sorted: %q >= %q", inv[i-1].Name, inv[i].Name)
+		}
+	}
+}
+
+// TestDisabledZeroAlloc pins the acceptance criterion that a disabled
+// failpoint site costs one atomic load: no allocations on the hot path.
+func TestDisabledZeroAlloc(t *testing.T) {
+	Reset()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if Hit("hot/path") != nil {
+			t.Fatal("fired")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Hit allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func BenchmarkHitDisabled(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Hit("hot/path")
+	}
+}

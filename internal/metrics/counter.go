@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonic event counter. The zero value is ready to use; it
+// is safe for concurrent use and cheap enough for hot paths (one atomic add).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// CounterSet is a named registry of counters, for subsystems that want to
+// expose their event counts by name (e.g. degradation-ladder transitions).
+type CounterSet struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewCounterSet creates an empty counter registry.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{m: make(map[string]*Counter)}
+}
+
+// Get returns the named counter, creating it on first use.
+func (s *CounterSet) Get(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.m[name]
+	if !ok {
+		c = &Counter{}
+		s.m[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every counter, keyed by name.
+func (s *CounterSet) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.m))
+	for n, c := range s.m {
+		out[n] = c.Value()
+	}
+	return out
+}
+
+// Names lists the registered counter names, sorted.
+func (s *CounterSet) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.m))
+	for n := range s.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

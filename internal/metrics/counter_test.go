@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	cs := NewCounterSet()
+	cs.Get("b.second").Add(2)
+	cs.Get("a.first").Inc()
+	if cs.Get("a.first") != cs.Get("a.first") {
+		t.Fatal("Get must return the same counter for the same name")
+	}
+	if got := cs.Snapshot(); !reflect.DeepEqual(got, map[string]int64{"a.first": 1, "b.second": 2}) {
+		t.Fatalf("Snapshot() = %v", got)
+	}
+	if got := cs.Names(); !reflect.DeepEqual(got, []string{"a.first", "b.second"}) {
+		t.Fatalf("Names() = %v, want sorted", got)
+	}
+}

@@ -19,20 +19,14 @@ import (
 	"hybridgc/internal/txn"
 )
 
-// event is one committed effect on a record in the model.
-type event struct {
-	cid ts.CID
-	img string // "" means deleted
-}
-
 // Oracle drives one checked history.
 type Oracle struct {
 	db  *core.DB
 	tid ts.TableID
 	r   *rand.Rand
 
-	hist map[ts.RID][]event
-	rids []ts.RID
+	model *Model
+	rids  []ts.RID
 
 	snaps      []*heldSnap
 	collectors []gc.Collector
@@ -88,10 +82,10 @@ func New(seed int64) (*Oracle, error) {
 	}
 	m := db.Manager()
 	o := &Oracle{
-		db:   db,
-		tid:  tid,
-		r:    rand.New(rand.NewSource(seed)),
-		hist: make(map[ts.RID][]event),
+		db:    db,
+		tid:   tid,
+		r:     rand.New(rand.NewSource(seed)),
+		model: NewModel(),
 		collectors: []gc.Collector{
 			gc.NewSingleTimestamp(m),
 			gc.NewGroupTimestamp(m),
@@ -118,16 +112,7 @@ func (o *Oracle) Close() {
 
 // modelRead answers a point read from the model.
 func (o *Oracle) modelRead(rid ts.RID, at ts.CID) (string, bool) {
-	var img string
-	found := false
-	for _, e := range o.hist[rid] {
-		if e.cid > at {
-			break
-		}
-		img = e.img
-		found = e.img != ""
-	}
-	return img, found
+	return o.model.Read(ts.RecordKey{Table: o.tid, RID: rid}, at)
 }
 
 // engineRead answers the same read from the engine.
@@ -194,7 +179,7 @@ func (o *Oracle) doInsert() error {
 	if err != nil {
 		return err
 	}
-	o.hist[rid] = append(o.hist[rid], event{cid: o.commitCID(), img: img})
+	o.model.Apply(ts.RecordKey{Table: o.tid, RID: rid}, o.commitCID(), img)
 	o.rids = append(o.rids, rid)
 	return nil
 }
@@ -225,7 +210,7 @@ func (o *Oracle) doUpdate() error {
 	if err != nil {
 		return err
 	}
-	o.hist[rid] = append(o.hist[rid], event{cid: o.commitCID(), img: img})
+	o.model.Apply(ts.RecordKey{Table: o.tid, RID: rid}, o.commitCID(), img)
 	return nil
 }
 
@@ -240,7 +225,7 @@ func (o *Oracle) doDelete() error {
 	if err != nil {
 		return err
 	}
-	o.hist[rid] = append(o.hist[rid], event{cid: o.commitCID(), img: ""})
+	o.model.Apply(ts.RecordKey{Table: o.tid, RID: rid}, o.commitCID(), "")
 	return nil
 }
 

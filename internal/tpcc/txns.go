@@ -15,6 +15,22 @@ import (
 // load.
 var errRollback = errors.New("tpcc: intentional rollback (invalid item)")
 
+// Every profile runs under a standard retry policy: transient failures —
+// write-write conflicts, writes rejected under version-space pressure — back
+// off and re-run the whole profile. Profile closures must therefore reset any
+// state they populate at the top of each attempt.
+const (
+	txnRetries = 5
+	retryBase  = 500 * time.Microsecond
+)
+
+// execRetry runs one transaction profile with backoff on transient failures.
+func (d *Driver) execRetry(fn func(tx *core.Tx) error) error {
+	return core.Retry(txnRetries, retryBase, func() error {
+		return d.DB.Exec(txn.StmtSI, nil, fn)
+	})
+}
+
 // getDecoded loads and decodes one row.
 func getDecoded[T any](tx *core.Tx, tid ts.TableID, rid ts.RID, decode func([]byte) (T, error)) (T, error) {
 	var zero T
@@ -50,8 +66,10 @@ func (wk *Worker) NewOrder() error {
 	rollback := r.Intn(100) == 0
 
 	var res newOrderResult
-	res.dist, res.cid = dist, cid
-	err := d.DB.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+	err := d.execRetry(func(tx *core.Tx) error {
+		// Reset per attempt: a retried attempt must not keep RIDs (olRIDs
+		// especially) accumulated by the conflicted one.
+		res = newOrderResult{dist: dist, cid: cid}
 		if _, err := getDecoded(tx, d.t.warehouse, d.warehouseRID(wk.w), DecodeWarehouse); err != nil {
 			return err
 		}
@@ -159,7 +177,7 @@ func (wk *Worker) Payment() error {
 	cid := wk.lookupCustomer(dist)
 	amount := int64(randRange(wk.r, 100, 500000))
 
-	return d.DB.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+	return d.execRetry(func(tx *core.Tx) error {
 		wrow, err := getDecoded(tx, d.t.warehouse, d.warehouseRID(wk.w), DecodeWarehouse)
 		if err != nil {
 			return err
@@ -218,7 +236,7 @@ func (wk *Worker) OrderStatus() error {
 	}
 	st.mu.Unlock()
 
-	return d.DB.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+	return d.execRetry(func(tx *core.Tx) error {
 		if _, err := getDecoded(tx, d.t.customer, d.customerRID(wk.w, dist, cid), DecodeCustomer); err != nil {
 			return err
 		}
@@ -251,7 +269,7 @@ func (wk *Worker) Delivery() error {
 		oid  uint32
 	}
 	var done []delivered
-	err := d.DB.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+	err := d.execRetry(func(tx *core.Tx) error {
 		done = done[:0]
 		for dist := uint32(1); dist <= uint32(d.cfg.Districts); dist++ {
 			st := d.state(wk.w, dist)
@@ -327,7 +345,7 @@ func (wk *Worker) StockLevel() error {
 	dist := uint32(randRange(wk.r, 1, d.cfg.Districts))
 	threshold := int32(randRange(wk.r, 10, 20))
 
-	return d.DB.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+	return d.execRetry(func(tx *core.Tx) error {
 		drow, err := getDecoded(tx, d.t.district, d.districtRID(wk.w, dist), DecodeDistrict)
 		if err != nil {
 			return err

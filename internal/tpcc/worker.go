@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math/rand"
 	"sync/atomic"
+
+	"hybridgc/internal/core"
 )
 
 // TxnType enumerates the five TPC-C transaction profiles.
@@ -118,6 +120,11 @@ func (wk *Worker) RunOne() error {
 		wk.Stats.Committed[t].Add(1)
 		return nil
 	case errors.Is(err, errRollback):
+		wk.Stats.Aborted[t].Add(1)
+		return nil
+	case core.IsTransient(err):
+		// Retries exhausted under contention or version-space pressure: the
+		// transaction aborted cleanly, the benchmark goes on.
 		wk.Stats.Aborted[t].Add(1)
 		return nil
 	default:

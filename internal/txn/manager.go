@@ -14,10 +14,18 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hybridgc/internal/fault"
 	"hybridgc/internal/mvcc"
 	"hybridgc/internal/sts"
 	"hybridgc/internal/ts"
 )
+
+// FPPublish fires after a commit group is durably logged but before its CID
+// is published. Failing here must roll the group back AND fail-stop the
+// engine: the group's record is already in the log, so reusing its CID for a
+// later group would make replay drop that later group (the "CID <= recovered"
+// skip during recovery).
+var FPPublish = fault.Declare("txn/publish", "after durable logging, before the group CID is published")
 
 // Isolation selects the snapshot isolation variant of §1.
 type Isolation int
@@ -73,6 +81,13 @@ type Config struct {
 	// CommitLogger, when set, makes commit groups durable before they become
 	// visible (write-ahead logging).
 	CommitLogger CommitLogger
+	// OnDurabilityFailure, when set, is called (once per incident, from the
+	// committer goroutine) when a commit group could not be made durable or
+	// could not be published after being logged. The embedding engine uses it
+	// to transition into fail-stop read-only mode: after a logging failure no
+	// later commit may be acknowledged, or an acked-but-unlogged commit could
+	// survive in memory and vanish on restart.
+	OnDurabilityFailure func(error)
 }
 
 func (c *Config) fill() {
@@ -330,15 +345,16 @@ func (m *Manager) commitBatch(batch []*commitReq) {
 	// readers cannot observe the group while it is being logged.
 	if logger := m.cfg.CommitLogger; logger != nil {
 		if err := logger.LogCommit(cid, tcs); err != nil {
-			m.rollbackBatch(tcs)
-			for _, r := range real {
-				r.done <- commitResult{err: fmt.Errorf("txn: commit logging failed: %w", err)}
-			}
-			for _, r := range barriers {
-				r.done <- commitResult{}
-			}
+			m.failBatch(tcs, real, barriers, fmt.Errorf("txn: commit logging failed: %w", err))
 			return
 		}
+	}
+	if err := fault.Hit(FPPublish); err != nil {
+		// The group is in the log but will never be published. The CID must
+		// not be reused (replay would then skip the next real group), so this
+		// is unrecoverable without restarting through recovery: fail-stop.
+		m.failBatch(tcs, real, barriers, fmt.Errorf("txn: publish failed after durable logging: %w", err))
+		return
 	}
 	gcc := mvcc.NewGroup(tcs)
 	// Publish the CID on the group first: the single store below makes every
@@ -365,6 +381,23 @@ func (m *Manager) commitBatch(batch []*commitReq) {
 	default:
 		// Propagator backlogged; propagate inline rather than dropping.
 		m.propagated.Add(int64(gcc.Propagate()))
+	}
+}
+
+// failBatch rolls back every member of a batch whose logging or publication
+// failed, answers all waiters with err, counts the aborts, and notifies the
+// durability-failure hook so the engine can fail-stop.
+func (m *Manager) failBatch(tcs []*mvcc.TransContext, real, barriers []*commitReq, err error) {
+	m.rollbackBatch(tcs)
+	m.txnsAborted.Add(int64(len(real)))
+	for _, r := range real {
+		r.done <- commitResult{err: err}
+	}
+	for _, r := range barriers {
+		r.done <- commitResult{}
+	}
+	if m.cfg.OnDurabilityFailure != nil {
+		m.cfg.OnDurabilityFailure(err)
 	}
 }
 

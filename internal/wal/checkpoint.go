@@ -10,7 +10,24 @@ import (
 	"os"
 	"path/filepath"
 
+	"hybridgc/internal/fault"
 	"hybridgc/internal/ts"
+)
+
+// Failpoint sites on the checkpoint path. Checkpoints are written to a temp
+// file and renamed into place, so a failure at any of these leaves the
+// previous checkpoint intact and recovery unaffected — which the crash
+// matrix verifies.
+var (
+	// FPCheckpointWrite fires before the temp file is created.
+	FPCheckpointWrite = fault.Declare("wal/checkpoint-write", "before writing the checkpoint temp file")
+	// FPCheckpointSync fires after the body is written, before the temp file
+	// is fsynced.
+	FPCheckpointSync = fault.Declare("wal/checkpoint-sync", "after writing, before syncing the checkpoint temp file")
+	// FPCheckpointRename fires after the temp file is synced, before the
+	// atomic rename — the instant a crash strands a complete but unnamed
+	// checkpoint next to the old one.
+	FPCheckpointRename = fault.Declare("wal/checkpoint-rename", "after temp-file sync, before the atomic rename")
 )
 
 // Checkpoint is a serialized, transactionally consistent table-space image:
@@ -43,6 +60,9 @@ const checkpointMagic = uint32(0x48474343) // "HGCC"
 // WriteCheckpoint atomically writes the checkpoint to dir via a temp file
 // and rename. The whole body is checksummed.
 func WriteCheckpoint(dir string, ck *Checkpoint) error {
+	if err := fault.Hit(FPCheckpointWrite); err != nil {
+		return err
+	}
 	body := encodeCheckpoint(ck)
 	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
 	if err != nil {
@@ -63,10 +83,16 @@ func WriteCheckpoint(dir string, ck *Checkpoint) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
+	if err := fault.Hit(FPCheckpointSync); err != nil {
+		return err
+	}
 	if err := tmp.Sync(); err != nil {
 		return err
 	}
 	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := fault.Hit(FPCheckpointRename); err != nil {
 		return err
 	}
 	return os.Rename(tmp.Name(), filepath.Join(dir, checkpointName))

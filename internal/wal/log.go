@@ -13,6 +13,30 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"hybridgc/internal/fault"
+)
+
+// Failpoint sites on the logging path (zero-cost unless a test arms them).
+// Each site marks one instant where a crash or I/O error leaves the
+// persistency in a distinct state the recovery path must handle; the
+// crash-matrix harness simulates a failure at every one of them.
+var (
+	// FPAppend fires before any byte of a record reaches the segment: a
+	// failure here loses the record entirely.
+	FPAppend = fault.Declare("wal/append", "before writing a log record")
+	// FPAppendTorn writes only the first half of the frame before failing —
+	// the classic torn tail a power cut mid-write leaves behind.
+	FPAppendTorn = fault.Declare("wal/append-torn", "write half a frame, then fail (torn tail)")
+	// FPSync fires after the record is flushed to the OS but before fsync:
+	// the commit is not acknowledged, yet the record may survive the crash
+	// (commit ambiguity).
+	FPSync = fault.Declare("wal/fsync", "after flush, before fsync of a record")
+	// FPRotate fires at the start of segment rotation.
+	FPRotate = fault.Declare("wal/rotate", "before closing the active segment on rotation")
+	// FPSegmentRemove fires before covered segments are pruned after a
+	// checkpoint; leftover covered segments must replay idempotently.
+	FPSegmentRemove = fault.Declare("wal/segment-remove", "before deleting a checkpoint-covered segment")
 )
 
 // segment file names are log-<seq>.wal; checkpoints are checkpoint.ckpt
@@ -33,16 +57,27 @@ type Options struct {
 	Sync bool
 }
 
-// Log is the append side of the write-ahead log.
+// Log is the append side of the write-ahead log. After any write, flush or
+// sync error the log latches into a failed state: the kernel's page-cache
+// contents after a failed fsync are unknown, and a partial frame may have
+// reached the file, so appending anything further could bury an
+// already-acknowledged commit behind an unreadable tail. Every subsequent
+// Append or Rotate returns ErrLogFailed wrapping the original cause; the
+// only way forward is recovery through a fresh Open.
 type Log struct {
 	opts Options
 
-	mu   sync.Mutex
-	seq  uint64
-	f    *os.File
-	w    *bufio.Writer
-	size int64
+	mu      sync.Mutex
+	seq     uint64
+	f       *os.File
+	w       *bufio.Writer
+	size    int64
+	failErr error
 }
+
+// ErrLogFailed reports an append on a log that already failed an I/O
+// operation and fail-stopped.
+var ErrLogFailed = errors.New("wal: log fail-stopped after I/O error")
 
 // Open creates (or continues) the log in dir, appending to a fresh segment
 // after the highest existing one — recovery reads old segments, new writes
@@ -81,24 +116,59 @@ func (l *Log) openSegmentLocked() error {
 	return nil
 }
 
+// failLocked latches the first I/O error; the log refuses all writes after.
+func (l *Log) failLocked(err error) error {
+	if l.failErr == nil {
+		l.failErr = err
+	}
+	return err
+}
+
+// Failed returns the error that fail-stopped the log, or nil.
+func (l *Log) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failErr
+}
+
 // Append frames, writes and flushes one record; with Sync set it also
 // fsyncs, making the record durable before the caller acknowledges commit.
+// Any I/O error fail-stops the log permanently (see Log).
 func (l *Log) Append(r *Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return errors.New("wal: log closed")
 	}
+	if l.failErr != nil {
+		return fmt.Errorf("%w: %v", ErrLogFailed, l.failErr)
+	}
+	if err := fault.Hit(FPAppend); err != nil {
+		return l.failLocked(err)
+	}
 	framed := Frame(r.EncodePayload())
+	if err := fault.Hit(FPAppendTorn); err != nil {
+		// Simulate a torn write: the first half of the frame reaches the OS,
+		// then the device dies. Recovery must stop replay at the torn frame.
+		if _, werr := l.w.Write(framed[:len(framed)/2]); werr == nil {
+			_ = l.w.Flush()
+		}
+		return l.failLocked(err)
+	}
 	if _, err := l.w.Write(framed); err != nil {
-		return err
+		return l.failLocked(err)
 	}
 	l.size += int64(len(framed))
 	if err := l.w.Flush(); err != nil {
-		return err
+		return l.failLocked(err)
 	}
 	if l.opts.Sync {
-		return l.f.Sync()
+		if err := fault.Hit(FPSync); err != nil {
+			return l.failLocked(err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return l.failLocked(err)
+		}
 	}
 	return nil
 }
@@ -113,15 +183,24 @@ func (l *Log) Rotate() (closedSeq uint64, err error) {
 	if l.f == nil {
 		return 0, errors.New("wal: log closed")
 	}
+	if l.failErr != nil {
+		return 0, fmt.Errorf("%w: %v", ErrLogFailed, l.failErr)
+	}
+	if err := fault.Hit(FPRotate); err != nil {
+		return 0, l.failLocked(err)
+	}
 	if err := l.w.Flush(); err != nil {
-		return 0, err
+		return 0, l.failLocked(err)
 	}
 	if err := l.f.Close(); err != nil {
-		return 0, err
+		return 0, l.failLocked(err)
 	}
 	closedSeq = l.seq
 	l.seq++
-	return closedSeq, l.openSegmentLocked()
+	if err := l.openSegmentLocked(); err != nil {
+		return 0, l.failLocked(err)
+	}
+	return closedSeq, nil
 }
 
 // Size returns the bytes written to the current segment.
@@ -131,15 +210,21 @@ func (l *Log) Size() int64 {
 	return l.size
 }
 
-// Close flushes and closes the active segment.
+// Close flushes and closes the active segment. A fail-stopped log is closed
+// without flushing: whatever sits in the buffer after a failed write is a
+// partial frame that must not be appended behind acknowledged records.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return nil
 	}
-	if err := l.w.Flush(); err != nil {
-		return err
+	if l.failErr == nil {
+		if err := l.w.Flush(); err != nil {
+			_ = l.f.Close()
+			l.f = nil
+			return err
+		}
 	}
 	err := l.f.Close()
 	l.f = nil
@@ -181,6 +266,9 @@ func Segments(dir string) ([]SegmentInfo, error) {
 // RemoveSegmentsThrough deletes every segment with Seq <= through. Called
 // after a checkpoint covers them.
 func RemoveSegmentsThrough(dir string, through uint64) error {
+	if err := fault.Hit(FPSegmentRemove); err != nil {
+		return err
+	}
 	segs, err := Segments(dir)
 	if err != nil {
 		return err
