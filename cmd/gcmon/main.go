@@ -5,10 +5,15 @@
 // and the estimated version-space memory — so the version-space overflow
 // phenomenon, and its disappearance under HybridGC, can be watched live.
 //
+// With -addr it monitors a running hybridgcd instead: each tick is one STATS
+// round trip, so the same indicator columns describe a remote engine — for
+// example one being driven by `tpcc -addr` from another terminal.
+//
 // Usage:
 //
 //	gcmon -gc none -duration 10s    # Figure 2: unbounded growth
 //	gcmon -gc hg   -duration 10s    # HybridGC keeps it flat
+//	gcmon -addr 127.0.0.1:7654      # watch a remote server's indicators
 package main
 
 import (
@@ -19,9 +24,11 @@ import (
 	"sync"
 	"time"
 
+	"hybridgc/internal/client"
 	"hybridgc/internal/core"
 	"hybridgc/internal/gc"
 	"hybridgc/internal/tpcc"
+	"hybridgc/internal/wire"
 	"hybridgc/internal/workload"
 )
 
@@ -33,8 +40,15 @@ func main() {
 		cursor   = flag.Bool("cursor", true, "hold a long-duration cursor on STOCK")
 		soft     = flag.Int64("soft", 0, "version-budget soft watermark (0 disables the budget)")
 		hard     = flag.Int64("hard", 0, "version-budget hard watermark (0 derives 2*soft)")
+		addr     = flag.String("addr", "", "hybridgcd address; empty runs the workload in-process")
+		token    = flag.String("token", "", "auth token for -addr")
 	)
 	flag.Parse()
+
+	if *addr != "" {
+		monitorRemote(*addr, *token, *duration, *interval)
+		return
+	}
 
 	var m workload.Mode
 	switch strings.ToLower(*mode) {
@@ -123,6 +137,60 @@ loop:
 			p.SoftTrips, p.Emergencies, p.Backpressured, p.Rejected, p.Evicted)
 	}
 	fmt.Println("Figure 9 regions:", gc.CurrentRegions(db.Manager()))
+}
+
+// monitorRemote prints the same indicator columns from a running hybridgcd,
+// one STATS round trip per tick.
+func monitorRemote(addr, token string, duration, interval time.Duration) {
+	cl, err := client.Dial(client.Config{Addr: addr, Token: token, MaxConns: 1})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	fmt.Printf("gcmon: monitoring %s — the Figure 2 indicators\n", addr)
+	fmt.Printf("%-8s %-16s %-22s %-14s %-10s %s\n",
+		"t", "Active Versions", "Active CID Range", "Used Memory", "Reclaimed", "Pressure")
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	deadline := time.After(duration)
+	start := time.Now()
+	for {
+		select {
+		case <-tick.C:
+			st, err := cl.Stats()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-8s %-16d %-22d %-14s %-10d %s\n",
+				fmt.Sprintf("%.1fs", time.Since(start).Seconds()),
+				st.VersionsLive, st.ActiveCIDRange, fmtBytes(st.VersionsLiveBytes),
+				st.VersionsReclaimed, fmtRemotePressure(st))
+		case <-deadline:
+			st, err := cl.Stats()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nfinal: versions=%d reclaimed=%d migrated=%d cursors open=%d failstop=%v\n",
+				st.VersionsLive, st.VersionsReclaimed, st.VersionsMigrated, st.CursorsOpen, st.FailStop)
+			return
+		}
+	}
+}
+
+// fmtRemotePressure is fmtPressure over the wire-stats shape.
+func fmtRemotePressure(st wire.Stats) string {
+	if !st.PressureEnabled {
+		return "-"
+	}
+	var util float64
+	if st.PressureHard > 0 {
+		util = float64(st.PressureLive) / float64(st.PressureHard)
+	}
+	s := fmt.Sprintf("%s %.0f%%", st.PressureLevel, 100*util)
+	if st.PressureRejected > 0 || st.PressureEvicted > 0 {
+		s += fmt.Sprintf(" (rej=%d evict=%d)", st.PressureRejected, st.PressureEvicted)
+	}
+	return s
 }
 
 // fmtPressure renders the degradation-ladder column: "-" without a budget,

@@ -1,0 +1,119 @@
+// Command hybridgcd serves one hybridgc engine over TCP using the wire
+// protocol in internal/wire. Clients (internal/client, cmd/tpcc -addr,
+// cmd/gcmon -addr) speak length-prefixed binary frames; each connection gets
+// its own SQL session, explicit-transaction scope and query cursors, so a
+// remote long-lived cursor pins a snapshot in this process exactly like an
+// in-process one — the paper's Figure 2 blocker, observable over the
+// network.
+//
+// SIGTERM / SIGINT drain gracefully: the listener closes, in-flight requests
+// finish and get their responses, idle connections are released, and every
+// open cursor is closed so its pinned snapshot stops blocking garbage
+// collection before the process exits.
+//
+// Usage:
+//
+//	hybridgcd -addr :7654 -gc hg
+//	hybridgcd -addr :7654 -gc none -soft 50000   # watch the pressure ladder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hybridgc/internal/core"
+	"hybridgc/internal/gc"
+	"hybridgc/internal/server"
+	"hybridgc/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7654", "listen address")
+		token    = flag.String("token", "", "auth token clients must present in HELLO (empty disables auth)")
+		maxConns = flag.Int("maxconns", 256, "maximum concurrent connections")
+		idle     = flag.Duration("idle", 2*time.Minute, "per-connection idle timeout (releases cursors of silent peers)")
+		mode     = flag.String("gc", "hg", "garbage collection mode: none, gt, gttg, hg")
+		soft     = flag.Int64("soft", 0, "version-budget soft watermark (0 disables the budget)")
+		hard     = flag.Int64("hard", 0, "version-budget hard watermark (0 derives 2*soft)")
+	)
+	flag.Parse()
+
+	var m workload.Mode
+	switch strings.ToLower(*mode) {
+	case "none":
+		m = workload.ModeNone
+	case "gt":
+		m = workload.ModeGT
+	case "gttg", "gt+tg":
+		m = workload.ModeGTTG
+	case "hg", "hybrid":
+		m = workload.ModeHG
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -gc mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	base := gc.Periods{GT: 50 * time.Millisecond, TG: 150 * time.Millisecond, SI: 500 * time.Millisecond}
+	db, err := core.Open(core.Config{
+		GC:                 m.Periods(base),
+		LongLivedThreshold: 100 * time.Millisecond,
+		VersionBudget:      core.VersionBudget{Soft: *soft, Hard: *hard},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	if m != workload.ModeNone {
+		db.GC().Start()
+		defer db.GC().Stop()
+	}
+
+	srv, err := server.New(db, server.Config{
+		Token:       *token,
+		MaxConns:    *maxConns,
+		IdleTimeout: *idle,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("hybridgcd: listening on %s (gc=%s maxconns=%d)\n", ln.Addr(), m, *maxConns)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case s := <-sig:
+		fmt.Printf("hybridgcd: %v — draining...\n", s)
+		srv.Shutdown(5 * time.Second)
+		<-done
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	st := srv.Stats()
+	fmt.Printf("hybridgcd: served %d requests over %d connections (%d errors)\n",
+		st.Requests, st.ConnsTotal, st.RequestErrors)
+	fmt.Printf("hybridgcd: versions live=%d reclaimed=%d, cursors reaped=%d, latency p50=%s p99=%s\n",
+		st.VersionsLive, st.VersionsReclaimed, st.CursorsReaped,
+		time.Duration(st.LatP50), time.Duration(st.LatP99))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hybridgcd:", err)
+	os.Exit(1)
+}

@@ -3,10 +3,16 @@
 // configured garbage collection mode, and a final consistency check. It
 // prints throughput, per-profile transaction counts, and engine statistics.
 //
+// With -addr the benchmark runs remotely: the same driver and profiles go
+// through internal/client to a hybridgcd server, with transient wire errors
+// (write conflicts, version pressure) retried by the same core.Retry policy
+// as the in-process path.
+//
 // Usage:
 //
 //	tpcc -warehouses 4 -duration 10s -gc hg
 //	tpcc -gc none -duration 3s          # watch the version space overflow
+//	tpcc -addr 127.0.0.1:7654           # drive a running hybridgcd
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"hybridgc/internal/client"
 	"hybridgc/internal/core"
 	"hybridgc/internal/gc"
 	"hybridgc/internal/tpcc"
@@ -30,12 +37,15 @@ func main() {
 		customers  = flag.Int("customers", 30, "customers per district")
 		districts  = flag.Int("districts", 10, "districts per warehouse")
 		duration   = flag.Duration("duration", 10*time.Second, "benchmark duration")
-		mode       = flag.String("gc", "hg", "garbage collection mode: none, gt, gttg, hg")
+		mode       = flag.String("gc", "hg", "garbage collection mode: none, gt, gttg, hg (local mode only)")
 		cursor     = flag.Bool("cursor", false, "hold a long-duration cursor on STOCK (the paper's GC blocker)")
 		check      = flag.Bool("check", true, "run TPC-C consistency checks at the end")
 		seed       = flag.Int64("seed", 1, "random seed")
+		addr       = flag.String("addr", "", "hybridgcd address; empty runs the engine in-process")
+		token      = flag.String("token", "", "auth token for -addr")
 	)
 	flag.Parse()
+	remote := *addr != ""
 
 	var m workload.Mode
 	switch strings.ToLower(*mode) {
@@ -51,24 +61,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -gc mode %q\n", *mode)
 		os.Exit(2)
 	}
-
-	base := gc.Periods{GT: 50 * time.Millisecond, TG: 150 * time.Millisecond, SI: 500 * time.Millisecond}
-	db, err := core.Open(core.Config{
-		GC:                 m.Periods(base),
-		LongLivedThreshold: 100 * time.Millisecond,
-	})
-	if err != nil {
-		fatal(err)
+	if remote && *cursor {
+		fmt.Fprintln(os.Stderr, "-cursor is local-only; the remote pinned-snapshot scenario is examples/network")
+		os.Exit(2)
 	}
-	defer db.Close()
 
-	driver, err := tpcc.New(db, tpcc.Config{
+	cfg := tpcc.Config{
 		Warehouses:           *warehouses,
 		Districts:            *districts,
 		CustomersPerDistrict: *customers,
 		Items:                *items,
 		Seed:                 *seed,
-	})
+	}
+	var (
+		driver *tpcc.Driver
+		db     *core.DB
+		cl     *client.Client
+		err    error
+	)
+	if remote {
+		cl, err = client.Dial(client.Config{Addr: *addr, Token: *token, MaxConns: *warehouses + 2})
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+		driver, err = tpcc.NewWithBackend(tpcc.RemoteBackend(cl), cfg)
+	} else {
+		base := gc.Periods{GT: 50 * time.Millisecond, TG: 150 * time.Millisecond, SI: 500 * time.Millisecond}
+		db, err = core.Open(core.Config{
+			GC:                 m.Periods(base),
+			LongLivedThreshold: 100 * time.Millisecond,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+		driver, err = tpcc.New(db, cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -78,7 +107,7 @@ func main() {
 		fatal(err)
 	}
 
-	if m != workload.ModeNone {
+	if !remote && m != workload.ModeNone {
 		db.GC().Start()
 	}
 	var cur *core.Cursor
@@ -90,11 +119,15 @@ func main() {
 		fmt.Printf("long-duration cursor opened on STOCK at snapshot %d\n", cur.SnapshotTS())
 	}
 
-	fmt.Printf("running %v with GC mode %s...\n", *duration, m)
+	startStmts := statements(db, cl)
+	if remote {
+		fmt.Printf("running %v against %s...\n", *duration, *addr)
+	} else {
+		fmt.Printf("running %v with GC mode %s...\n", *duration, m)
+	}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	workers := make([]*tpcc.Worker, *warehouses)
-	startStmts := db.StatementCount()
 	start := time.Now()
 	for w := 1; w <= *warehouses; w++ {
 		workers[w-1] = driver.NewWorker(w)
@@ -113,11 +146,11 @@ func main() {
 	if cur != nil {
 		cur.Close()
 	}
-	if m != workload.ModeNone {
+	if !remote && m != workload.ModeNone {
 		db.GC().Stop()
 	}
 
-	stmts := db.StatementCount() - startStmts
+	stmts := statements(db, cl) - startStmts
 	fmt.Printf("\nthroughput: %.0f committed statements/s (%d statements in %v)\n",
 		float64(stmts)/elapsed.Seconds(), stmts, elapsed.Round(time.Millisecond))
 	for t := tpcc.TxnNewOrder; t <= tpcc.TxnStockLevel; t++ {
@@ -128,13 +161,25 @@ func main() {
 		}
 		fmt.Printf("  %-12s committed=%-8d aborted=%d\n", t, committed, aborted)
 	}
-	st := db.Stats()
-	fmt.Printf("\nversion space: live=%d created=%d reclaimed=%d migrated=%d\n",
-		st.VersionsLive, st.VersionsCreated, st.VersionsReclaimed, st.VersionsMigrated)
-	fmt.Printf("hash table: %d chains over %d buckets (collision ratio %.2f)\n",
-		st.Hash.Chains, st.Hash.Buckets, st.Hash.CollisionRatio)
-	fmt.Printf("commit groups pending: %d, txns committed: %d, groups: %d\n",
-		st.GroupListLen, st.Txn.TxnsCommitted, st.Txn.GroupsCommitted)
+	if remote {
+		st, err := cl.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nserver: versions live=%d created=%d reclaimed=%d migrated=%d\n",
+			st.VersionsLive, st.VersionsCreated, st.VersionsReclaimed, st.VersionsMigrated)
+		fmt.Printf("service: %d requests (%d errors) over %d conns, %s in / %s out, latency p50=%v p99=%v\n",
+			st.Requests, st.RequestErrors, st.ConnsTotal,
+			fmtBytes(st.BytesIn), fmtBytes(st.BytesOut), st.LatP50, st.LatP99)
+	} else {
+		st := db.Stats()
+		fmt.Printf("\nversion space: live=%d created=%d reclaimed=%d migrated=%d\n",
+			st.VersionsLive, st.VersionsCreated, st.VersionsReclaimed, st.VersionsMigrated)
+		fmt.Printf("hash table: %d chains over %d buckets (collision ratio %.2f)\n",
+			st.Hash.Chains, st.Hash.Buckets, st.Hash.CollisionRatio)
+		fmt.Printf("commit groups pending: %d, txns committed: %d, groups: %d\n",
+			st.GroupListLen, st.Txn.TxnsCommitted, st.Txn.GroupsCommitted)
+	}
 
 	if *check {
 		fmt.Print("\nconsistency check... ")
@@ -143,6 +188,30 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("OK")
+	}
+}
+
+// statements reads the committed-statement counter from whichever end runs
+// the engine.
+func statements(db *core.DB, cl *client.Client) int64 {
+	if db != nil {
+		return db.StatementCount()
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	return st.Statements
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }
 

@@ -1,0 +1,469 @@
+// Package client is the remote counterpart of internal/server: a pooled,
+// stdlib-only client for the wire protocol. A Client owns up to MaxConns
+// TCP connections, reused across calls; transactions and query cursors pin
+// one connection (they are per-session state on the server) until
+// Commit/Abort/Close returns it to the pool.
+//
+// Engine errors cross the wire as codes and rehydrate into the canonical
+// sentinels (core.ErrWriteConflict, core.ErrVersionPressure,
+// core.ErrFailStop, ...), so core.IsTransient and core.Retry treat a remote
+// rejection exactly like a local one — the degradation ladder of PR 1
+// propagates to remote callers unchanged.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hybridgc/internal/core"
+	"hybridgc/internal/ts"
+	"hybridgc/internal/wire"
+)
+
+// ErrClosed reports an operation on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// Config tunes a Client.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Token is presented in HELLO.
+	Token string
+	// MaxConns bounds the pool (<=0 selects 8).
+	MaxConns int
+	// DialTimeout bounds one dial+handshake (<=0 selects 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request/response round trip (<=0 selects 30s).
+	RequestTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 8
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+}
+
+// Client is a pooled connection to one server.
+type Client struct {
+	cfg Config
+
+	mu     sync.Mutex
+	idle   []*Conn
+	closed bool
+	sem    chan struct{} // one slot per live or dialable connection
+}
+
+// Dial creates a client and eagerly dials one connection so a bad address or
+// token fails here rather than on first use.
+func Dial(cfg Config) (*Client, error) {
+	cfg.fill()
+	c := &Client{cfg: cfg, sem: make(chan struct{}, cfg.MaxConns)}
+	cn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	// Idle connections hold no pool slot: get() acquires a slot first and
+	// then reuses an idle connection or dials.
+	c.mu.Lock()
+	c.idle = append(c.idle, cn)
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Close closes every pooled connection. In-flight transactions and cursors
+// on checked-out connections fail on their next use.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, cn := range c.idle {
+		cn.nc.Close()
+	}
+	c.idle = nil
+}
+
+// dial opens and handshakes one connection.
+func (c *Client) dial() (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cn := &Conn{nc: nc, br: bufio.NewReader(nc), timeout: c.cfg.RequestTimeout}
+	body := (&wire.Builder{}).Raw([]byte(wire.Magic)).U8(wire.Version).Str(c.cfg.Token)
+	r, err := cn.roundTrip(wire.OpHello, body.Take())
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	if got := r.U8(); got != wire.Version || r.Err() != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: server speaks protocol %d, want %d", got, wire.Version)
+	}
+	return cn, nil
+}
+
+// get checks a connection out of the pool, dialing when the pool has free
+// capacity and no idle connection.
+func (c *Client) get() (*Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+	c.sem <- struct{}{}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.sem
+		return nil, ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		cn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+	cn, err := c.dial()
+	if err != nil {
+		<-c.sem
+		return nil, err
+	}
+	return cn, nil
+}
+
+// put returns a connection; broken connections are discarded so the next
+// get dials fresh.
+func (c *Client) put(cn *Conn) {
+	c.mu.Lock()
+	if c.closed || cn.broken {
+		c.mu.Unlock()
+		cn.nc.Close()
+		<-c.sem
+		return
+	}
+	c.idle = append(c.idle, cn)
+	c.mu.Unlock()
+	<-c.sem
+}
+
+// do runs one round trip on a pooled connection.
+func (c *Client) do(op byte, body []byte) (*wire.Parser, error) {
+	cn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	r, err := cn.roundTrip(op, body)
+	c.put(cn)
+	return r, err
+}
+
+// Ping round-trips a PING.
+func (c *Client) Ping() error {
+	_, err := c.do(wire.OpPing, nil)
+	return err
+}
+
+// Stats fetches engine and service statistics.
+func (c *Client) Stats() (wire.Stats, error) {
+	r, err := c.do(wire.OpStats, nil)
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	st := wire.DecodeStats(r)
+	return st, r.Err()
+}
+
+// Result is one statement's outcome, mirroring sql.Result in wire types.
+type Result struct {
+	Message  string
+	Affected int
+	Columns  []string
+	Rows     [][]wire.Datum
+}
+
+func decodeResult(r *wire.Parser) (*Result, error) {
+	res := &Result{Message: r.Str(), Affected: int(r.U32())}
+	res.Columns = wire.GetStrings(r)
+	res.Rows = wire.GetRows(r)
+	return res, r.Err()
+}
+
+// Exec runs one autocommit SQL statement on a pooled connection. Statements
+// that change session state (BEGIN/COMMIT/ROLLBACK) must go through Begin —
+// on a pooled connection the session they would affect is arbitrary.
+func (c *Client) Exec(sqlText string) (*Result, error) {
+	r, err := c.do(wire.OpExec, (&wire.Builder{}).Str(sqlText).Take())
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(r)
+}
+
+// CreateTable registers a record-level engine table (not a SQL table).
+func (c *Client) CreateTable(name string) (ts.TableID, error) {
+	r, err := c.do(wire.OpCreateTable, (&wire.Builder{}).Str(name).Take())
+	if err != nil {
+		return 0, err
+	}
+	tid := ts.TableID(r.U32())
+	return tid, r.Err()
+}
+
+// TableIDs resolves engine table names.
+func (c *Client) TableIDs(names ...string) ([]ts.TableID, error) {
+	w := &wire.Builder{}
+	wire.PutStrings(w, names)
+	r, err := c.do(wire.OpTableIDs, w.Take())
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.U16())
+	out := make([]ts.TableID, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		out = append(out, ts.TableID(r.U32()))
+	}
+	return out, r.Err()
+}
+
+// Begin starts a remote transaction, pinning one connection until
+// Commit/Abort. transSI selects transaction-level snapshot isolation.
+func (c *Client) Begin(transSI bool) (*Tx, error) {
+	cn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cn.roundTrip(wire.OpBegin, (&wire.Builder{}).Bool(transSI).Take()); err != nil {
+		c.put(cn)
+		return nil, err
+	}
+	return &Tx{c: c, cn: cn}, nil
+}
+
+// Query opens a remote SQL cursor, pinning one connection until Close. The
+// server-side cursor holds a snapshot scoped to the query's table — the
+// canonical remote long-lived garbage collection blocker.
+func (c *Client) Query(sqlText string) (*Cursor, error) {
+	cn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	r, err := cn.roundTrip(wire.OpQOpen, (&wire.Builder{}).Str(sqlText).Take())
+	if err != nil {
+		c.put(cn)
+		return nil, err
+	}
+	cu := &Cursor{c: c, cn: cn, id: r.U32(), snapTS: ts.CID(r.U64()), cols: wire.GetStrings(r)}
+	if err := r.Err(); err != nil {
+		c.put(cn)
+		return nil, err
+	}
+	return cu, nil
+}
+
+// Tx is a remote transaction bound to one pooled connection. Its record
+// operations mirror core.Tx, so code written against that shape (the TPC-C
+// driver) runs remotely unchanged.
+type Tx struct {
+	c    *Client
+	cn   *Conn
+	done bool
+}
+
+func (tx *Tx) round(op byte, body []byte) (*wire.Parser, error) {
+	if tx.done {
+		return nil, fmt.Errorf("client: transaction finished")
+	}
+	return tx.cn.roundTrip(op, body)
+}
+
+// Exec runs one SQL statement inside the transaction.
+func (tx *Tx) Exec(sqlText string) (*Result, error) {
+	r, err := tx.round(wire.OpExec, (&wire.Builder{}).Str(sqlText).Take())
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(r)
+}
+
+// Get reads one record image.
+func (tx *Tx) Get(tid ts.TableID, rid ts.RID) ([]byte, error) {
+	r, err := tx.round(wire.OpGet, (&wire.Builder{}).U32(uint32(tid)).U64(uint64(rid)).Take())
+	if err != nil {
+		return nil, err
+	}
+	img := r.Bytes()
+	return img, r.Err()
+}
+
+// Insert creates a record and returns its RID.
+func (tx *Tx) Insert(tid ts.TableID, img []byte) (ts.RID, error) {
+	r, err := tx.round(wire.OpInsert, (&wire.Builder{}).U32(uint32(tid)).Bytes(img).Take())
+	if err != nil {
+		return 0, err
+	}
+	rid := ts.RID(r.U64())
+	return rid, r.Err()
+}
+
+// Update installs a new image.
+func (tx *Tx) Update(tid ts.TableID, rid ts.RID, img []byte) error {
+	_, err := tx.round(wire.OpUpdate, (&wire.Builder{}).U32(uint32(tid)).U64(uint64(rid)).Bytes(img).Take())
+	return err
+}
+
+// Delete removes a record.
+func (tx *Tx) Delete(tid ts.TableID, rid ts.RID) error {
+	_, err := tx.round(wire.OpDelete, (&wire.Builder{}).U32(uint32(tid)).U64(uint64(rid)).Take())
+	return err
+}
+
+// Scan visits every visible record of the table in RID order. The whole
+// result crosses the wire in one response.
+func (tx *Tx) Scan(tid ts.TableID, fn func(rid ts.RID, img []byte) bool) error {
+	r, err := tx.round(wire.OpScan, (&wire.Builder{}).U32(uint32(tid)).Take())
+	if err != nil {
+		return err
+	}
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		rid := ts.RID(r.U64())
+		img := r.Bytes()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if !fn(rid, img) {
+			break
+		}
+	}
+	return r.Err()
+}
+
+// Commit finishes the transaction and returns the connection to the pool.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return fmt.Errorf("client: transaction finished")
+	}
+	_, err := tx.cn.roundTrip(wire.OpCommit, nil)
+	tx.done = true
+	tx.c.put(tx.cn)
+	return err
+}
+
+// Abort rolls the transaction back and returns the connection to the pool.
+// Safe to call after Commit (no-op), so `defer tx.Abort()` works.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	_, _ = tx.cn.roundTrip(wire.OpRollback, nil)
+	tx.done = true
+	tx.c.put(tx.cn)
+}
+
+// Cursor is a remote SQL query cursor bound to one pooled connection.
+type Cursor struct {
+	c         *Client
+	cn        *Conn
+	id        uint32
+	snapTS    ts.CID
+	cols      []string
+	exhausted bool
+	closed    bool
+}
+
+// Columns returns the output column names.
+func (cu *Cursor) Columns() []string { return cu.cols }
+
+// SnapshotTS returns the server-side cursor's pinned snapshot timestamp.
+func (cu *Cursor) SnapshotTS() ts.CID { return cu.snapTS }
+
+// Exhausted reports whether the server-side scan has passed the last row.
+func (cu *Cursor) Exhausted() bool { return cu.exhausted || cu.closed }
+
+// Fetch returns up to n rows and the server-side fetch statistics.
+func (cu *Cursor) Fetch(n int) ([][]wire.Datum, core.FetchStats, error) {
+	if cu.closed {
+		return nil, core.FetchStats{}, core.ErrCursorClosed
+	}
+	body := (&wire.Builder{}).U32(cu.id).U32(uint32(n)).Take()
+	r, err := cu.cn.roundTrip(wire.OpQFetch, body)
+	if err != nil {
+		return nil, core.FetchStats{}, err
+	}
+	cu.exhausted = r.Bool()
+	st := core.FetchStats{Traversed: r.I64(), Duration: time.Duration(r.U64())}
+	rows := wire.GetRows(r)
+	st.Rows = len(rows)
+	return rows, st, r.Err()
+}
+
+// Close releases the server-side cursor (and its pinned snapshot) and
+// returns the connection to the pool. Idempotent.
+func (cu *Cursor) Close() error {
+	if cu.closed {
+		return nil
+	}
+	cu.closed = true
+	_, err := cu.cn.roundTrip(wire.OpQClose, (&wire.Builder{}).U32(cu.id).Take())
+	cu.c.put(cu.cn)
+	return err
+}
+
+// Conn is one handshaked protocol connection. Calls on a Conn are not
+// concurrency-safe; the pool hands each Conn to one owner at a time.
+type Conn struct {
+	nc      net.Conn
+	br      *bufio.Reader
+	timeout time.Duration
+	broken  bool
+}
+
+// roundTrip writes one request frame and reads its response. Transport
+// failures poison the connection; StErr responses decode into *wire.Error
+// so sentinel matching (and core.IsTransient) works on the caller's side.
+func (cn *Conn) roundTrip(op byte, body []byte) (*wire.Parser, error) {
+	if cn.broken {
+		return nil, fmt.Errorf("client: connection is broken")
+	}
+	deadline := time.Now().Add(cn.timeout)
+	_ = cn.nc.SetWriteDeadline(deadline)
+	if _, err := wire.WriteFrame(cn.nc, op, body); err != nil {
+		cn.broken = true
+		return nil, err
+	}
+	_ = cn.nc.SetReadDeadline(deadline)
+	status, resp, err := wire.ReadFrame(cn.br)
+	if err != nil {
+		cn.broken = true
+		return nil, err
+	}
+	if status == wire.StErr {
+		r := wire.NewParser(resp)
+		code, msg := r.U16(), r.Str()
+		if err := r.Err(); err != nil {
+			cn.broken = true
+			return nil, err
+		}
+		return nil, &wire.Error{Code: code, Msg: msg}
+	}
+	return wire.NewParser(resp), nil
+}
+
+// IsTransient reports whether err is worth retrying — the engine's transient
+// set, which wire errors unwrap into.
+func IsTransient(err error) bool { return core.IsTransient(err) }

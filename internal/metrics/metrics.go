@@ -206,41 +206,80 @@ func (s *Sampler) Names() []string {
 	return out
 }
 
-// Histogram is a simple latency recorder with percentile queries.
+// DefaultHistogramCap is the reservoir size a zero-value Histogram uses.
+// 4096 samples keep p99 estimates stable while bounding a per-request
+// recorder on a long-running server to a fixed footprint.
+const DefaultHistogramCap = 4096
+
+// Histogram is a bounded latency recorder with percentile queries. It keeps
+// an exact count and sum (so Count and Mean never degrade) and a fixed-size
+// uniform reservoir of observations (Vitter's Algorithm R) for percentiles,
+// so recording every request of a long-running server cannot grow memory
+// without limit. The zero value is ready to use.
 type Histogram struct {
 	mu      sync.Mutex
+	cap     int
+	count   int64
+	sum     time.Duration
 	samples []time.Duration
+	rng     uint64
+}
+
+// NewHistogram creates a histogram with an explicit reservoir capacity
+// (<=0 selects DefaultHistogramCap).
+func NewHistogram(capacity int) *Histogram {
+	if capacity <= 0 {
+		capacity = DefaultHistogramCap
+	}
+	return &Histogram{cap: capacity}
+}
+
+// next is a splitmix64 step — a cheap in-lock PRNG for reservoir slots; the
+// fixed seed keeps tests deterministic.
+func (h *Histogram) next() uint64 {
+	h.rng += 0x9e3779b97f4a7c15
+	z := h.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Record adds one observation.
 func (h *Histogram) Record(d time.Duration) {
 	h.mu.Lock()
-	h.samples = append(h.samples, d)
+	if h.cap <= 0 {
+		h.cap = DefaultHistogramCap
+	}
+	h.count++
+	h.sum += d
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, d)
+	} else if idx := h.next() % uint64(h.count); idx < uint64(h.cap) {
+		h.samples[idx] = d
+	}
 	h.mu.Unlock()
 }
 
-// Count returns the number of observations.
+// Count returns the total number of observations recorded (not the reservoir
+// occupancy).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.count)
 }
 
-// Mean returns the average observation.
+// Mean returns the exact average over every recorded observation.
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, d := range h.samples {
-		sum += d
-	}
-	return sum / time.Duration(len(h.samples))
+	return h.sum / time.Duration(h.count)
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100).
+// Percentile returns the p-th percentile (0 < p <= 100), estimated from the
+// reservoir once more than cap observations have been recorded.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -259,7 +298,9 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return sorted[idx]
 }
 
-// Samples returns a copy of all observations in arrival order.
+// Samples returns a copy of the retained observations. Up to the reservoir
+// capacity this is every observation in arrival order; beyond it, a uniform
+// sample of the full stream.
 func (h *Histogram) Samples() []time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()

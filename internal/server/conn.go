@@ -1,0 +1,398 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"hybridgc/internal/core"
+	"hybridgc/internal/sql"
+	"hybridgc/internal/ts"
+	"hybridgc/internal/txn"
+	"hybridgc/internal/wire"
+)
+
+// conn is one client connection: a session with at most one explicit
+// transaction and any number of open query cursors. All request processing
+// happens on the connection's goroutine; only beginDrain touches it from
+// outside, through atomics and deadline pokes that are safe concurrently.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	sess *sql.Session
+
+	cursors    map[uint32]*sql.QueryCursor
+	nextCursor uint32
+	authed     bool
+	draining   atomic.Bool
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:     s,
+		nc:      nc,
+		br:      bufio.NewReader(nc),
+		bw:      bufio.NewWriter(nc),
+		sess:    sql.NewSession(s.cat),
+		cursors: make(map[uint32]*sql.QueryCursor),
+	}
+}
+
+// beginDrain asks the connection to stop after its in-flight request: the
+// flag makes the serve loop exit at the next iteration, and the expired read
+// deadline unblocks a loop parked between requests.
+func (c *conn) beginDrain() {
+	c.draining.Store(true)
+	_ = c.nc.SetReadDeadline(time.Unix(1, 0))
+}
+
+// cleanup releases everything the session pinned. It runs exactly once, when
+// the serve loop exits — on client EOF, abrupt disconnect, idle timeout,
+// protocol error, or drain — so a dead peer's cursors stop blocking the
+// global garbage collection horizon no later than the idle deadline.
+func (c *conn) cleanup() {
+	for id, qc := range c.cursors {
+		qc.Close()
+		delete(c.cursors, id)
+		c.srv.cursorsOpen.Add(-1)
+		c.srv.cursorsReaped.Inc()
+	}
+	c.sess.Close()
+	c.nc.Close()
+}
+
+// serve runs the request loop.
+func (c *conn) serve() {
+	defer c.cleanup()
+	for {
+		if c.draining.Load() {
+			return
+		}
+		_ = c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
+		op, body, err := wire.ReadFrame(c.br)
+		if err != nil {
+			return // EOF, abrupt disconnect, idle timeout, drain poke
+		}
+		c.srv.bytesIn.Add(int64(5 + len(body)))
+		if hook := c.srv.cfg.testHookRequest; hook != nil {
+			hook(op)
+		}
+		start := time.Now()
+		status, resp := c.dispatch(op, body)
+		c.srv.requests.Inc()
+		if status == wire.StErr {
+			c.srv.requestErrors.Inc()
+		}
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+		n, err := wire.WriteFrame(c.bw, status, resp)
+		if err == nil {
+			err = c.bw.Flush()
+		}
+		c.srv.bytesOut.Add(int64(n))
+		c.srv.lat.Record(time.Since(start))
+		if err != nil {
+			return
+		}
+		if op == wire.OpHello && !c.authed {
+			return // failed handshake: one error frame, then hang up
+		}
+	}
+}
+
+// fail encodes an error response.
+func fail(err error) (byte, []byte) {
+	code := wire.ErrorCode(err)
+	switch {
+	case errors.Is(err, sql.ErrInTransaction):
+		code = wire.ECodeInTransaction
+	case errors.Is(err, sql.ErrNoTransaction):
+		code = wire.ECodeNoTransaction
+	}
+	return wire.StErr, (&wire.Builder{}).U16(code).Str(err.Error()).Take()
+}
+
+func ok(w *wire.Builder) (byte, []byte) {
+	if w == nil {
+		return wire.StOK, nil
+	}
+	return wire.StOK, w.Take()
+}
+
+// dispatch executes one request and returns the response frame.
+func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
+	if !c.authed && op != wire.OpHello {
+		return fail(fmt.Errorf("%w: HELLO required", wire.ErrBadRequest))
+	}
+	// No draining check here: a frame only reaches dispatch if the drain
+	// flag was clear when the serve loop read it, and such an in-flight
+	// request runs to completion with its real response — drain cuts the
+	// conversation off at the next loop iteration, not mid-request.
+	r := wire.NewParser(body)
+	switch op {
+	case wire.OpHello:
+		return c.hello(r)
+	case wire.OpPing:
+		return ok(nil)
+	case wire.OpStats:
+		w := &wire.Builder{}
+		st := c.srv.Stats()
+		st.Encode(w)
+		return ok(w)
+	case wire.OpExec:
+		return c.exec(r)
+	case wire.OpBegin:
+		transSI := r.Bool()
+		if err := firstErr(r); err != nil {
+			return fail(err)
+		}
+		if err := c.sess.Begin(transSI); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+	case wire.OpCommit:
+		if err := c.sess.Commit(); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+	case wire.OpRollback:
+		if err := c.sess.Rollback(); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+	case wire.OpQOpen:
+		return c.qopen(r)
+	case wire.OpQFetch:
+		return c.qfetch(r)
+	case wire.OpQClose:
+		return c.qclose(r)
+	case wire.OpCreateTable:
+		name := r.Str()
+		if err := firstErr(r); err != nil {
+			return fail(err)
+		}
+		tid, err := c.srv.db.CreateTable(name)
+		if err != nil {
+			return fail(err)
+		}
+		return ok((&wire.Builder{}).U32(uint32(tid)))
+	case wire.OpTableIDs:
+		names := wire.GetStrings(r)
+		if err := firstErr(r); err != nil {
+			return fail(err)
+		}
+		ids, err := c.srv.db.TableIDs(names...)
+		if err != nil {
+			return fail(err)
+		}
+		w := (&wire.Builder{}).U16(uint16(len(ids)))
+		for _, id := range ids {
+			w.U32(uint32(id))
+		}
+		return ok(w)
+	case wire.OpGet:
+		tid, rid := ts.TableID(r.U32()), ts.RID(r.U64())
+		if err := firstErr(r); err != nil {
+			return fail(err)
+		}
+		var img []byte
+		err := c.kv(func(tx *core.Tx) error {
+			var err error
+			img, err = tx.Get(tid, rid)
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return ok((&wire.Builder{}).Bytes(img))
+	case wire.OpInsert:
+		tid, img := ts.TableID(r.U32()), r.Bytes()
+		if err := firstErr(r); err != nil {
+			return fail(err)
+		}
+		var rid ts.RID
+		err := c.kv(func(tx *core.Tx) error {
+			var err error
+			rid, err = tx.Insert(tid, img)
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return ok((&wire.Builder{}).U64(uint64(rid)))
+	case wire.OpUpdate:
+		tid, rid, img := ts.TableID(r.U32()), ts.RID(r.U64()), r.Bytes()
+		if err := firstErr(r); err != nil {
+			return fail(err)
+		}
+		if err := c.kv(func(tx *core.Tx) error { return tx.Update(tid, rid, img) }); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+	case wire.OpDelete:
+		tid, rid := ts.TableID(r.U32()), ts.RID(r.U64())
+		if err := firstErr(r); err != nil {
+			return fail(err)
+		}
+		if err := c.kv(func(tx *core.Tx) error { return tx.Delete(tid, rid) }); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+	case wire.OpScan:
+		tid := ts.TableID(r.U32())
+		if err := firstErr(r); err != nil {
+			return fail(err)
+		}
+		type pair struct {
+			rid ts.RID
+			img []byte
+		}
+		var pairs []pair
+		err := c.kv(func(tx *core.Tx) error {
+			pairs = pairs[:0]
+			return tx.Scan(tid, func(rid ts.RID, img []byte) bool {
+				pairs = append(pairs, pair{rid, img})
+				return true
+			})
+		})
+		if err != nil {
+			return fail(err)
+		}
+		w := (&wire.Builder{}).U32(uint32(len(pairs)))
+		for _, p := range pairs {
+			w.U64(uint64(p.rid)).Bytes(p.img)
+		}
+		return ok(w)
+	default:
+		return fail(fmt.Errorf("%w: unknown opcode %d", wire.ErrBadRequest, op))
+	}
+}
+
+// firstErr surfaces a parse failure, also rejecting trailing request bytes.
+func firstErr(r *wire.Parser) error {
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if r.Rest() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", wire.ErrBadRequest, r.Rest())
+	}
+	return nil
+}
+
+// kv runs a record-level operation in the session's explicit transaction if
+// one is open, or as its own autocommit transaction otherwise — the same
+// rule SQL statements follow.
+func (c *conn) kv(fn func(tx *core.Tx) error) error {
+	if tx := c.sess.Tx(); tx != nil {
+		return fn(tx)
+	}
+	return c.srv.db.Exec(txn.StmtSI, nil, fn)
+}
+
+func (c *conn) hello(r *wire.Parser) (byte, []byte) {
+	magic := string(r.Raw(4))
+	ver := r.U8()
+	token := r.Str()
+	if err := firstErr(r); err != nil || magic != wire.Magic {
+		return fail(fmt.Errorf("%w: bad handshake", wire.ErrBadRequest))
+	}
+	if ver != wire.Version {
+		return fail(fmt.Errorf("%w: protocol version %d, want %d", wire.ErrBadRequest, ver, wire.Version))
+	}
+	if c.srv.cfg.Token != "" && token != c.srv.cfg.Token {
+		return fail(wire.ErrAuth)
+	}
+	c.authed = true
+	return ok((&wire.Builder{}).U8(wire.Version))
+}
+
+func (c *conn) exec(r *wire.Parser) (byte, []byte) {
+	text := r.Str()
+	if err := firstErr(r); err != nil {
+		return fail(err)
+	}
+	res, err := c.sess.Execute(text)
+	if err != nil {
+		return fail(err)
+	}
+	w := &wire.Builder{}
+	w.Str(res.Message).U32(uint32(res.Affected))
+	wire.PutStrings(w, res.Columns)
+	wire.PutRows(w, toWireRows(res.Rows))
+	return ok(w)
+}
+
+func (c *conn) qopen(r *wire.Parser) (byte, []byte) {
+	text := r.Str()
+	if err := firstErr(r); err != nil {
+		return fail(err)
+	}
+	qc, err := c.sess.OpenQueryCursor(text)
+	if err != nil {
+		return fail(err)
+	}
+	c.nextCursor++
+	id := c.nextCursor
+	c.cursors[id] = qc
+	c.srv.cursorsOpen.Add(1)
+	w := (&wire.Builder{}).U32(id).U64(uint64(qc.SnapshotTS()))
+	wire.PutStrings(w, qc.Columns())
+	return ok(w)
+}
+
+func (c *conn) qfetch(r *wire.Parser) (byte, []byte) {
+	id, n := r.U32(), int(r.U32())
+	if err := firstErr(r); err != nil {
+		return fail(err)
+	}
+	qc, okc := c.cursors[id]
+	if !okc {
+		return fail(fmt.Errorf("%w: cursor %d", core.ErrCursorClosed, id))
+	}
+	if n <= 0 || n > 1<<16 {
+		n = 1 << 10
+	}
+	rows, fst, err := qc.Fetch(n)
+	if err != nil {
+		return fail(err)
+	}
+	w := (&wire.Builder{}).Bool(qc.Exhausted()).U64(uint64(fst.Traversed)).U64(uint64(fst.Duration))
+	wire.PutRows(w, toWireRows(rows))
+	return ok(w)
+}
+
+func (c *conn) qclose(r *wire.Parser) (byte, []byte) {
+	id := r.U32()
+	if err := firstErr(r); err != nil {
+		return fail(err)
+	}
+	qc, okc := c.cursors[id]
+	if !okc {
+		return fail(fmt.Errorf("%w: cursor %d", core.ErrCursorClosed, id))
+	}
+	qc.Close()
+	delete(c.cursors, id)
+	c.srv.cursorsOpen.Add(-1)
+	return ok(nil)
+}
+
+// toWireRows converts SQL result rows to their wire form.
+func toWireRows(rows [][]sql.Datum) [][]wire.Datum {
+	out := make([][]wire.Datum, len(rows))
+	for i, row := range rows {
+		wr := make([]wire.Datum, len(row))
+		for j, d := range row {
+			if d.Type == sql.TInt {
+				wr[j] = wire.Datum{Tag: wire.DatumInt, I: d.I}
+			} else {
+				wr[j] = wire.Datum{Tag: wire.DatumText, S: d.S}
+			}
+		}
+		out[i] = wr
+	}
+	return out
+}

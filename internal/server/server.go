@@ -1,0 +1,293 @@
+// Package server is the network service layer over the engine: a stdlib-only
+// TCP server speaking the length-prefixed binary protocol of internal/wire.
+// Each connection is one session — an explicit-transaction scope, a set of
+// open query cursors, and (after HELLO) an authenticated peer. Requests are
+// processed strictly in order per connection, which gives clients free
+// pipelining; independent connections run fully in parallel.
+//
+// The server's job in the paper's terms is to make the mixed OLTP/OLAP
+// scenario real: remote sessions open long-lived cursors whose snapshots pin
+// the global minimum, so connection lifecycle — idle deadlines, abrupt
+// disconnects, graceful drain — is exactly the machinery that decides when
+// garbage collection may advance. Any path that ends a connection releases
+// its cursors and aborts its transaction before the connection goroutine
+// exits.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridgc/internal/core"
+	"hybridgc/internal/metrics"
+	"hybridgc/internal/sql"
+	"hybridgc/internal/wire"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Addr is the TCP listen address (ListenAndServe only).
+	Addr string
+	// Token, when non-empty, must be presented in HELLO.
+	Token string
+	// MaxConns bounds concurrent connections (<=0 selects 256). Connections
+	// beyond the limit receive a TooManyConns error frame and are closed.
+	MaxConns int
+	// IdleTimeout is the per-connection read deadline between requests — the
+	// reap interval for dead peers: a connection that sends nothing for this
+	// long is closed and its cursors and transaction are released (<=0
+	// selects 2 minutes).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response (<=0 selects 30s).
+	WriteTimeout time.Duration
+	// LatencyReservoir sizes the request-latency histogram's bounded
+	// reservoir (<=0 selects metrics.DefaultHistogramCap).
+	LatencyReservoir int
+
+	// testHookRequest, when set by tests, runs after a request frame is
+	// decoded and before it is executed — the seam drain tests use to hold a
+	// request in flight deterministically. Immutable after New.
+	testHookRequest func(op byte)
+}
+
+func (c *Config) fill() {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 256
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+}
+
+// Server serves one engine over TCP.
+type Server struct {
+	cfg Config
+	db  *core.DB
+	cat *sql.Catalog
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	wg       sync.WaitGroup
+
+	// Service-level metrics, exposed through the STATS verb.
+	lat           *metrics.Histogram
+	requests      metrics.Counter
+	requestErrors metrics.Counter
+	bytesIn       metrics.Counter
+	bytesOut      metrics.Counter
+	connsTotal    metrics.Counter
+	connsActive   atomic.Int64
+	cursorsOpen   atomic.Int64
+	cursorsReaped metrics.Counter
+}
+
+// New builds a server over an engine. The SQL catalog is created (or
+// re-attached, after recovery) on the same database, so SQL and record-level
+// verbs see one store.
+func New(db *core.DB, cfg Config) (*Server, error) {
+	cfg.fill()
+	cat, err := sql.NewCatalog(db)
+	if err != nil {
+		return nil, fmt.Errorf("server: catalog: %w", err)
+	}
+	return &Server{
+		cfg:   cfg,
+		db:    db,
+		cat:   cat,
+		conns: make(map[*conn]struct{}),
+		lat:   metrics.NewHistogram(cfg.LatencyReservoir),
+	}, nil
+}
+
+// Catalog exposes the server's SQL catalog (in-process callers and tests).
+func (s *Server) Catalog() *sql.Catalog { return s.cat }
+
+// ListenAndServe listens on cfg.Addr and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until the listener is closed by Shutdown.
+// It returns nil after a graceful drain.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return wire.ErrDraining
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		if int(s.connsActive.Load()) >= s.cfg.MaxConns {
+			// Over the limit: answer with an error frame so the client gets a
+			// diagnosable failure instead of a silent hangup.
+			body := (&wire.Builder{}).U16(wire.ECodeTooManyConns).Str("server: connection limit reached").Take()
+			_, _ = wire.WriteFrame(nc, wire.StErr, body)
+			nc.Close()
+			continue
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			body := (&wire.Builder{}).U16(wire.ECodeDraining).Str("server: draining").Take()
+			_, _ = wire.WriteFrame(nc, wire.StErr, body)
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connsActive.Add(1)
+		s.connsTotal.Inc()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.serve()
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+			s.connsActive.Add(-1)
+		}()
+	}
+}
+
+// Addr returns the bound listen address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown drains the server gracefully: the listener stops accepting, every
+// connection finishes the request it is currently executing (its response is
+// written), and then each connection is closed — cursors released,
+// transactions aborted — so pinned snapshots stop blocking garbage
+// collection. Connections parked between requests are unblocked immediately
+// via an expired read deadline. Shutdown waits up to timeout for the
+// connection goroutines to exit, then force-closes stragglers.
+func (s *Server) Shutdown(timeout time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.beginDrain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// Draining reports whether Shutdown has started.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Stats assembles the STATS payload: engine indicators plus the service
+// layer's own counters and latency percentiles.
+func (s *Server) Stats() wire.Stats {
+	st := s.db.Stats()
+	out := wire.Stats{
+		Statements:        st.Statements,
+		VersionsLive:      st.VersionsLive,
+		VersionsLiveBytes: st.VersionsLiveBytes,
+		VersionsCreated:   st.VersionsCreated,
+		VersionsReclaimed: st.VersionsReclaimed,
+		VersionsMigrated:  st.VersionsMigrated,
+		ActiveSnapshots:   int64(st.ActiveSnapshots),
+		CurrentCID:        st.CurrentCID,
+		GlobalHorizon:     st.GlobalHorizon,
+		ActiveCIDRange:    st.ActiveCIDRange,
+		TxnsCommitted:     st.Txn.TxnsCommitted,
+		GroupsCommitted:   st.Txn.GroupsCommitted,
+		FailStop:          st.FailStop,
+
+		Conns:         s.connsActive.Load(),
+		ConnsTotal:    s.connsTotal.Value(),
+		Requests:      s.requests.Value(),
+		RequestErrors: s.requestErrors.Value(),
+		BytesIn:       s.bytesIn.Value(),
+		BytesOut:      s.bytesOut.Value(),
+		CursorsOpen:   s.cursorsOpen.Load(),
+		CursorsReaped: s.cursorsReaped.Value(),
+		LatMean:       s.lat.Mean(),
+		LatP50:        s.lat.Percentile(50),
+		LatP95:        s.lat.Percentile(95),
+		LatP99:        s.lat.Percentile(99),
+	}
+	if p := st.Pressure; p.Enabled {
+		out.PressureEnabled = true
+		out.PressureLevel = p.Level.String()
+		out.PressureLive = p.Live
+		out.PressureSoft = p.Soft
+		out.PressureHard = p.Hard
+		out.PressureSoftTrips = p.SoftTrips
+		out.PressureEmergencies = p.Emergencies
+		out.PressureBackpressured = p.Backpressured
+		out.PressureRejected = p.Rejected
+		out.PressureEvicted = p.Evicted
+	}
+	return out
+}
+
+// isClosedErr reports the errors a closing connection produces in normal
+// operation, which are not worth logging.
+func isClosedErr(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}

@@ -40,6 +40,55 @@ func NewSession(cat *Catalog) *Session {
 // InTransaction reports whether an explicit transaction is open.
 func (s *Session) InTransaction() bool { return s.tx != nil }
 
+// Begin starts an explicit transaction programmatically — the same state
+// change as executing BEGIN (or BEGIN SNAPSHOT when transSI is set). The
+// wire server maps its BEGIN verb here.
+func (s *Session) Begin(transSI bool) error {
+	if s.tx != nil {
+		return ErrInTransaction
+	}
+	iso := txn.StmtSI
+	if transSI {
+		iso = txn.TransSI
+	}
+	s.tx = s.db.Begin(iso)
+	return nil
+}
+
+// Commit finishes the explicit transaction.
+func (s *Session) Commit() error {
+	if s.tx == nil {
+		return ErrNoTransaction
+	}
+	err := s.tx.Commit()
+	s.tx = nil
+	return err
+}
+
+// Rollback aborts the explicit transaction.
+func (s *Session) Rollback() error {
+	if s.tx == nil {
+		return ErrNoTransaction
+	}
+	s.tx.Abort()
+	s.tx = nil
+	return nil
+}
+
+// Tx exposes the open explicit transaction (nil outside one), so callers
+// holding a session — the wire server's record-level verbs — can run engine
+// operations inside the same transaction SQL statements use.
+func (s *Session) Tx() *core.Tx { return s.tx }
+
+// Close aborts any open transaction. A session is not usable afterwards
+// only by convention; it holds no other resources.
+func (s *Session) Close() {
+	if s.tx != nil {
+		s.tx.Abort()
+		s.tx = nil
+	}
+}
+
 // Execute parses, compiles and runs one statement.
 func (s *Session) Execute(sqlText string) (*Result, error) {
 	stmt, err := Parse(sqlText)
@@ -53,31 +102,19 @@ func (s *Session) Execute(sqlText string) (*Result, error) {
 func (s *Session) Run(stmt Statement) (*Result, error) {
 	switch st := stmt.(type) {
 	case *BeginStmt:
-		if s.tx != nil {
-			return nil, ErrInTransaction
+		if err := s.Begin(st.TransSI); err != nil {
+			return nil, err
 		}
-		iso := txn.StmtSI
-		if st.TransSI {
-			iso = txn.TransSI
-		}
-		s.tx = s.db.Begin(iso)
-		return &Result{Message: "BEGIN " + iso.String()}, nil
+		return &Result{Message: "BEGIN " + s.tx.Isolation().String()}, nil
 	case *CommitStmt:
-		if s.tx == nil {
-			return nil, ErrNoTransaction
-		}
-		err := s.tx.Commit()
-		s.tx = nil
-		if err != nil {
+		if err := s.Commit(); err != nil {
 			return nil, err
 		}
 		return &Result{Message: "COMMIT"}, nil
 	case *RollbackStmt:
-		if s.tx == nil {
-			return nil, ErrNoTransaction
+		if err := s.Rollback(); err != nil {
+			return nil, err
 		}
-		s.tx.Abort()
-		s.tx = nil
 		return &Result{Message: "ROLLBACK"}, nil
 	case *CreateTableStmt:
 		if _, err := s.cat.CreateTable(st.Name, st.Columns); err != nil {

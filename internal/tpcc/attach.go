@@ -7,7 +7,6 @@ import (
 
 	"hybridgc/internal/core"
 	"hybridgc/internal/ts"
-	"hybridgc/internal/txn"
 )
 
 // Attach binds a driver to a database that already contains the TPC-C
@@ -17,7 +16,7 @@ import (
 // configuration the data was loaded with.
 func Attach(db *core.DB, cfg Config) (*Driver, error) {
 	cfg.fill()
-	d := &Driver{DB: db, cfg: cfg}
+	d := &Driver{DB: db, be: LocalBackend(db), cfg: cfg}
 	ids, err := db.TableIDs(TableWarehouse, TableDistrict, TableCustomer,
 		TableHistory, TableNewOrder, TableOrders, TableOrderLine, TableItem, TableStock)
 	if err != nil {
@@ -44,11 +43,14 @@ func Attach(db *core.DB, cfg Config) (*Driver, error) {
 // rebuildState scans the dynamic tables under one consistent snapshot and
 // reconstructs every driver-side index.
 func (d *Driver) rebuildState() error {
-	tx := d.DB.Begin(txn.TransSI)
+	tx, err := d.be.Begin(true)
+	if err != nil {
+		return err
+	}
 	defer tx.Abort()
 
 	// Customers: last-name groups.
-	err := tx.Scan(d.t.customer, func(_ ts.RID, img []byte) bool {
+	err = tx.Scan(d.t.customer, func(_ ts.RID, img []byte) bool {
 		c, derr := DecodeCustomer(img)
 		if derr != nil {
 			return true

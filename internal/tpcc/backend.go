@@ -1,0 +1,96 @@
+package tpcc
+
+import (
+	"hybridgc/internal/client"
+	"hybridgc/internal/core"
+	"hybridgc/internal/ts"
+	"hybridgc/internal/txn"
+)
+
+// Txn is the transaction surface one TPC-C profile needs. *core.Tx satisfies
+// it directly; client.Tx satisfies it over the wire, so the same driver code
+// measures local and remote throughput.
+type Txn interface {
+	Get(tid ts.TableID, rid ts.RID) ([]byte, error)
+	Insert(tid ts.TableID, img []byte) (ts.RID, error)
+	Update(tid ts.TableID, rid ts.RID, img []byte) error
+	Delete(tid ts.TableID, rid ts.RID) error
+	Scan(tid ts.TableID, fn func(rid ts.RID, img []byte) bool) error
+	Commit() error
+	Abort()
+}
+
+// Backend abstracts where the driver's storage lives: the in-process engine
+// or a hybridgcd server reached through internal/client.
+type Backend interface {
+	CreateTable(name string) (ts.TableID, error)
+	TableIDs(names ...string) ([]ts.TableID, error)
+	// Begin starts a transaction — Trans-SI when snapshot is set, Stmt-SI
+	// otherwise.
+	Begin(snapshot bool) (Txn, error)
+}
+
+// localBackend serves the driver from an in-process engine.
+type localBackend struct{ db *core.DB }
+
+// LocalBackend wraps an engine as a driver backend.
+func LocalBackend(db *core.DB) Backend { return localBackend{db: db} }
+
+func (b localBackend) CreateTable(name string) (ts.TableID, error) { return b.db.CreateTable(name) }
+func (b localBackend) TableIDs(names ...string) ([]ts.TableID, error) {
+	return b.db.TableIDs(names...)
+}
+func (b localBackend) Begin(snapshot bool) (Txn, error) {
+	iso := txn.StmtSI
+	if snapshot {
+		iso = txn.TransSI
+	}
+	return b.db.Begin(iso), nil
+}
+
+// remoteBackend serves the driver over the wire protocol.
+type remoteBackend struct{ c *client.Client }
+
+// RemoteBackend wraps a wire client as a driver backend: the existing TPC-C
+// profiles run against a hybridgcd server, with transient wire errors
+// (conflicts, version pressure) retried by the same core.Retry policy the
+// local path uses.
+func RemoteBackend(c *client.Client) Backend { return remoteBackend{c: c} }
+
+func (b remoteBackend) CreateTable(name string) (ts.TableID, error) { return b.c.CreateTable(name) }
+func (b remoteBackend) TableIDs(names ...string) ([]ts.TableID, error) {
+	return b.c.TableIDs(names...)
+}
+func (b remoteBackend) Begin(snapshot bool) (Txn, error) { return b.c.Begin(snapshot) }
+
+// exec runs fn inside one transaction on the backend, committing on success
+// and aborting on error or panic — the backend-agnostic form of
+// core.DB.Exec.
+func (d *Driver) exec(fn func(tx Txn) error) error {
+	tx, err := d.be.Begin(false)
+	if err != nil {
+		return err
+	}
+	done := false
+	defer func() {
+		if !done {
+			tx.Abort()
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		done = true
+		return err
+	}
+	err = tx.Commit()
+	done = true
+	return err
+}
+
+// execRetry runs one transaction profile with backoff on transient failures
+// (write conflicts and version pressure, local or wire-carried).
+func (d *Driver) execRetry(fn func(tx Txn) error) error {
+	return core.Retry(txnRetries, retryBase, func() error {
+		return d.exec(fn)
+	})
+}

@@ -3,9 +3,7 @@ package tpcc
 import (
 	"fmt"
 
-	"hybridgc/internal/core"
 	"hybridgc/internal/ts"
-	"hybridgc/internal/txn"
 )
 
 // Check validates the TPC-C consistency conditions that survive this
@@ -20,7 +18,10 @@ import (
 //   - C5: C_BALANCE + C_YTD_PAYMENT = Σ OL_AMOUNT of the customer's
 //     delivered orders (with the loader's initial values folded in).
 func (d *Driver) Check() error {
-	tx := d.DB.Begin(txn.TransSI)
+	tx, err := d.be.Begin(true)
+	if err != nil {
+		return err
+	}
 	defer tx.Abort()
 
 	for w := 1; w <= d.cfg.Warehouses; w++ {
@@ -31,7 +32,7 @@ func (d *Driver) Check() error {
 	return nil
 }
 
-func (d *Driver) checkWarehouse(tx *core.Tx, w uint32) error {
+func (d *Driver) checkWarehouse(tx Txn, w uint32) error {
 	wrow, err := getDecoded(tx, d.t.warehouse, d.warehouseRID(w), DecodeWarehouse)
 	if err != nil {
 		return fmt.Errorf("warehouse %d: %w", w, err)

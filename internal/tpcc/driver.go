@@ -8,7 +8,6 @@ import (
 
 	"hybridgc/internal/core"
 	"hybridgc/internal/ts"
-	"hybridgc/internal/txn"
 )
 
 // Table names as created in the catalog.
@@ -99,7 +98,10 @@ func newDistrictState() *districtState {
 
 // Driver owns a loaded TPC-C database and spawns per-warehouse workers.
 type Driver struct {
+	// DB is the in-process engine when the driver runs locally, nil when the
+	// backend is remote.
 	DB  *core.DB
+	be  Backend
 	cfg Config
 	t   tables
 	nu  nuRandC
@@ -108,15 +110,26 @@ type Driver struct {
 	dist [][]*districtState
 }
 
-// New creates a driver over db and registers the nine tables.
+// New creates a driver over an in-process engine and registers the nine
+// tables.
 func New(db *core.DB, cfg Config) (*Driver, error) {
+	d, err := NewWithBackend(LocalBackend(db), cfg)
+	if d != nil {
+		d.DB = db
+	}
+	return d, err
+}
+
+// NewWithBackend creates a driver over any backend — an in-process engine or
+// a remote server through internal/client — and registers the nine tables.
+func NewWithBackend(be Backend, cfg Config) (*Driver, error) {
 	cfg.fill()
-	d := &Driver{DB: db, cfg: cfg}
+	d := &Driver{be: be, cfg: cfg}
 	var err error
 	create := func(name string) ts.TableID {
 		var id ts.TableID
 		if err == nil {
-			id, err = db.CreateTable(name)
+			id, err = be.CreateTable(name)
 		}
 		return id
 	}
@@ -257,7 +270,7 @@ func (d *Driver) Load() error {
 				h := History{CW: uint32(w), CD: uint32(dist), CID: uint32(c),
 					W: uint32(w), D: uint32(dist), Date: now, Amount: 1000,
 					Data: alphaString(r, 12, 24)}
-				err := d.DB.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+				err := d.exec(func(tx Txn) error {
 					_, err := tx.Insert(d.t.history, h.Encode())
 					return err
 				})
@@ -272,7 +285,7 @@ func (d *Driver) Load() error {
 
 // load inserts one fixed-cardinality row and verifies the RID formula.
 func (d *Driver) load(tid ts.TableID, want ts.RID, img []byte) error {
-	return d.DB.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+	return d.exec(func(tx Txn) error {
 		rid, err := tx.Insert(tid, img)
 		if err != nil {
 			return err

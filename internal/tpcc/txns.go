@@ -7,7 +7,6 @@ import (
 
 	"hybridgc/internal/core"
 	"hybridgc/internal/ts"
-	"hybridgc/internal/txn"
 )
 
 // errRollback is the intentional 1% New-Order rollback of TPC-C clause
@@ -24,15 +23,8 @@ const (
 	retryBase  = 500 * time.Microsecond
 )
 
-// execRetry runs one transaction profile with backoff on transient failures.
-func (d *Driver) execRetry(fn func(tx *core.Tx) error) error {
-	return core.Retry(txnRetries, retryBase, func() error {
-		return d.DB.Exec(txn.StmtSI, nil, fn)
-	})
-}
-
 // getDecoded loads and decodes one row.
-func getDecoded[T any](tx *core.Tx, tid ts.TableID, rid ts.RID, decode func([]byte) (T, error)) (T, error) {
+func getDecoded[T any](tx Txn, tid ts.TableID, rid ts.RID, decode func([]byte) (T, error)) (T, error) {
 	var zero T
 	img, err := tx.Get(tid, rid)
 	if err != nil {
@@ -66,7 +58,7 @@ func (wk *Worker) NewOrder() error {
 	rollback := r.Intn(100) == 0
 
 	var res newOrderResult
-	err := d.execRetry(func(tx *core.Tx) error {
+	err := d.execRetry(func(tx Txn) error {
 		// Reset per attempt: a retried attempt must not keep RIDs (olRIDs
 		// especially) accumulated by the conflicted one.
 		res = newOrderResult{dist: dist, cid: cid}
@@ -177,7 +169,7 @@ func (wk *Worker) Payment() error {
 	cid := wk.lookupCustomer(dist)
 	amount := int64(randRange(wk.r, 100, 500000))
 
-	return d.execRetry(func(tx *core.Tx) error {
+	return d.execRetry(func(tx Txn) error {
 		wrow, err := getDecoded(tx, d.t.warehouse, d.warehouseRID(wk.w), DecodeWarehouse)
 		if err != nil {
 			return err
@@ -236,7 +228,7 @@ func (wk *Worker) OrderStatus() error {
 	}
 	st.mu.Unlock()
 
-	return d.execRetry(func(tx *core.Tx) error {
+	return d.execRetry(func(tx Txn) error {
 		if _, err := getDecoded(tx, d.t.customer, d.customerRID(wk.w, dist, cid), DecodeCustomer); err != nil {
 			return err
 		}
@@ -269,7 +261,7 @@ func (wk *Worker) Delivery() error {
 		oid  uint32
 	}
 	var done []delivered
-	err := d.execRetry(func(tx *core.Tx) error {
+	err := d.execRetry(func(tx Txn) error {
 		done = done[:0]
 		for dist := uint32(1); dist <= uint32(d.cfg.Districts); dist++ {
 			st := d.state(wk.w, dist)
@@ -345,7 +337,7 @@ func (wk *Worker) StockLevel() error {
 	dist := uint32(randRange(wk.r, 1, d.cfg.Districts))
 	threshold := int32(randRange(wk.r, 10, 20))
 
-	return d.execRetry(func(tx *core.Tx) error {
+	return d.execRetry(func(tx Txn) error {
 		drow, err := getDecoded(tx, d.t.district, d.districtRID(wk.w, dist), DecodeDistrict)
 		if err != nil {
 			return err

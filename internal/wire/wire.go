@@ -1,0 +1,531 @@
+// Package wire defines the length-prefixed binary protocol spoken between
+// internal/server and internal/client: frame layout, request verbs, response
+// statuses, value codecs, and the mapping between engine errors and wire
+// error codes. Both ends share this package so the encoding is written once.
+//
+// Every frame is
+//
+//	uint32 big-endian length | 1 byte opcode/status | body
+//
+// where length counts the opcode byte plus the body. Requests carry a verb
+// opcode; responses carry StOK or StErr. The protocol is strictly
+// request/response in order, which makes pipelining trivial: a client may
+// write any number of request frames before reading responses, and the
+// server answers them in arrival order.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"hybridgc/internal/core"
+	"hybridgc/internal/ts"
+)
+
+// Protocol identity.
+const (
+	// Magic opens the HELLO body; a server reading anything else hangs up.
+	Magic = "HGC1"
+	// Version is the protocol revision negotiated in HELLO.
+	Version = 1
+	// MaxFrame bounds one frame so a corrupt length prefix cannot make
+	// either end allocate unboundedly.
+	MaxFrame = 16 << 20
+)
+
+// Request verbs.
+const (
+	OpHello byte = iota + 1
+	OpPing
+	OpStats
+	OpExec
+	OpBegin
+	OpCommit
+	OpRollback
+	OpQOpen
+	OpQFetch
+	OpQClose
+	OpCreateTable
+	OpTableIDs
+	OpGet
+	OpInsert
+	OpUpdate
+	OpDelete
+	OpScan
+)
+
+// Response statuses.
+const (
+	StOK  byte = 0
+	StErr byte = 1
+)
+
+// Wire error codes. The canonical engine errors travel as codes so the
+// client can rehydrate them into the sentinels core.IsTransient and
+// errors.Is understand — PR 1's degradation ladder propagates to remote
+// callers through this table.
+const (
+	ECodeGeneric uint16 = iota
+	ECodeTableNotFound
+	ECodeRecordNotFound
+	ECodeWriteConflict
+	ECodeVersionPressure
+	ECodeFailStop
+	ECodeSnapshotKilled
+	ECodeCursorClosed
+	ECodeOutOfScope
+	ECodeNoTransaction
+	ECodeInTransaction
+	ECodeBadRequest
+	ECodeDraining
+	ECodeTooManyConns
+	ECodeAuth
+)
+
+// Protocol-level sentinels (the engine ones live in internal/core).
+var (
+	// ErrBadRequest reports a malformed or out-of-protocol frame.
+	ErrBadRequest = errors.New("wire: bad request")
+	// ErrDraining reports a server refusing new work during graceful drain.
+	ErrDraining = errors.New("wire: server is draining")
+	// ErrTooManyConns reports the server's connection limit reached.
+	ErrTooManyConns = errors.New("wire: connection limit reached")
+	// ErrAuth reports a rejected handshake token.
+	ErrAuth = errors.New("wire: authentication failed")
+	// ErrNoTransaction and ErrInTransaction mirror the SQL session state
+	// errors without importing the SQL layer into the protocol.
+	ErrNoTransaction = errors.New("wire: no transaction in progress")
+	ErrInTransaction = errors.New("wire: transaction already in progress")
+)
+
+// codeTable pairs each non-generic code with its sentinel, in both
+// directions.
+var codeTable = []struct {
+	code uint16
+	err  error
+}{
+	{ECodeTableNotFound, core.ErrTableNotFound},
+	{ECodeRecordNotFound, core.ErrRecordNotFound},
+	{ECodeWriteConflict, core.ErrWriteConflict},
+	{ECodeVersionPressure, core.ErrVersionPressure},
+	{ECodeFailStop, core.ErrFailStop},
+	{ECodeSnapshotKilled, core.ErrSnapshotKilled},
+	{ECodeCursorClosed, core.ErrCursorClosed},
+	{ECodeOutOfScope, core.ErrOutOfScope},
+	{ECodeBadRequest, ErrBadRequest},
+	{ECodeDraining, ErrDraining},
+	{ECodeTooManyConns, ErrTooManyConns},
+	{ECodeAuth, ErrAuth},
+	{ECodeNoTransaction, ErrNoTransaction},
+	{ECodeInTransaction, ErrInTransaction},
+}
+
+// ErrorCode maps an error to its wire code (ECodeGeneric when unknown).
+func ErrorCode(err error) uint16 {
+	for _, e := range codeTable {
+		if errors.Is(err, e.err) {
+			return e.code
+		}
+	}
+	return ECodeGeneric
+}
+
+// Error is a server-reported failure carried over the wire. Unwrap exposes
+// the sentinel for its code, so errors.Is(err, core.ErrWriteConflict) — and
+// therefore core.IsTransient — work on the client side exactly as they do
+// in-process.
+type Error struct {
+	Code uint16
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Msg }
+
+// Unwrap returns the sentinel the code stands for, or nil for generic
+// errors.
+func (e *Error) Unwrap() error {
+	for _, t := range codeTable {
+		if t.code == e.Code {
+			return t.err
+		}
+	}
+	return nil
+}
+
+// WriteFrame writes one frame: the length prefix, the opcode/status byte,
+// and the body. It returns the total bytes written.
+func WriteFrame(w io.Writer, op byte, body []byte) (int, error) {
+	if len(body)+1 > MaxFrame {
+		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body)+1)
+	}
+	hdr := make([]byte, 5, 5+len(body))
+	binary.BigEndian.PutUint32(hdr, uint32(len(body)+1))
+	hdr[4] = op
+	n, err := w.Write(append(hdr, body...))
+	return n, err
+}
+
+// ReadFrame reads one frame, returning the opcode/status byte and the body.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lb[:])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// --- body codec ---
+
+// Builder appends wire values to a request or response body.
+type Builder struct{ b []byte }
+
+// U8 appends one byte.
+func (w *Builder) U8(v byte) *Builder { w.b = append(w.b, v); return w }
+
+// Raw appends bytes without a length prefix (fixed-width fields like the
+// handshake magic).
+func (w *Builder) Raw(v []byte) *Builder { w.b = append(w.b, v...); return w }
+
+// U16 appends a big-endian uint16.
+func (w *Builder) U16(v uint16) *Builder {
+	w.b = binary.BigEndian.AppendUint16(w.b, v)
+	return w
+}
+
+// U32 appends a big-endian uint32.
+func (w *Builder) U32(v uint32) *Builder {
+	w.b = binary.BigEndian.AppendUint32(w.b, v)
+	return w
+}
+
+// U64 appends a big-endian uint64.
+func (w *Builder) U64(v uint64) *Builder {
+	w.b = binary.BigEndian.AppendUint64(w.b, v)
+	return w
+}
+
+// I64 appends a big-endian int64.
+func (w *Builder) I64(v int64) *Builder { return w.U64(uint64(v)) }
+
+// Bool appends a 0/1 byte.
+func (w *Builder) Bool(v bool) *Builder {
+	if v {
+		return w.U8(1)
+	}
+	return w.U8(0)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Builder) Bytes(v []byte) *Builder {
+	w.U32(uint32(len(v)))
+	w.b = append(w.b, v...)
+	return w
+}
+
+// Str appends a length-prefixed string.
+func (w *Builder) Str(v string) *Builder {
+	w.U32(uint32(len(v)))
+	w.b = append(w.b, v...)
+	return w
+}
+
+// Take returns the accumulated body.
+func (w *Builder) Take() []byte { return w.b }
+
+// Parser consumes wire values from a body with a sticky error: after the
+// first short read every subsequent accessor returns a zero value, and Err
+// reports the failure once at the end.
+type Parser struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+// NewParser wraps a body.
+func NewParser(b []byte) *Parser { return &Parser{b: b} }
+
+func (r *Parser) take(n int) []byte {
+	if r.fail || r.off+n > len(r.b) {
+		r.fail = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// Raw reads n bytes without a length prefix (fixed-width fields like the
+// handshake magic).
+func (r *Parser) Raw(n int) []byte {
+	v := r.take(n)
+	if v == nil {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+// U8 reads one byte.
+func (r *Parser) U8() byte {
+	v := r.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+// U16 reads a big-endian uint16.
+func (r *Parser) U16() uint16 {
+	v := r.take(2)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(v)
+}
+
+// U32 reads a big-endian uint32.
+func (r *Parser) U32() uint32 {
+	v := r.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(v)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Parser) U64() uint64 {
+	v := r.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}
+
+// I64 reads a big-endian int64.
+func (r *Parser) I64() int64 { return int64(r.U64()) }
+
+// Bool reads a 0/1 byte.
+func (r *Parser) Bool() bool { return r.U8() != 0 }
+
+// Bytes reads a length-prefixed byte slice (copied out of the frame).
+func (r *Parser) Bytes() []byte {
+	n := int(r.U32())
+	v := r.take(n)
+	if v == nil {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+// Str reads a length-prefixed string.
+func (r *Parser) Str() string {
+	n := int(r.U32())
+	v := r.take(n)
+	if v == nil {
+		return ""
+	}
+	return string(v)
+}
+
+// Err reports whether any accessor ran past the body, or trailing bytes
+// remain unread.
+func (r *Parser) Err() error {
+	if r.fail {
+		return fmt.Errorf("%w: truncated body", ErrBadRequest)
+	}
+	return nil
+}
+
+// Rest reports whether unread bytes remain (a malformed request).
+func (r *Parser) Rest() int { return len(r.b) - r.off }
+
+// --- datum codec ---
+//
+// SQL values travel as a type tag byte followed by the value. The tags
+// mirror sql.ColType but are fixed here so the wire format is independent
+// of that package's internals.
+
+// Datum type tags.
+const (
+	DatumInt  byte = 1
+	DatumText byte = 2
+)
+
+// Datum is one SQL value in wire form.
+type Datum struct {
+	Tag byte
+	I   int64
+	S   string
+}
+
+// String renders the datum for display.
+func (d Datum) String() string {
+	if d.Tag == DatumInt {
+		return fmt.Sprint(d.I)
+	}
+	return d.S
+}
+
+// PutDatum appends one datum.
+func PutDatum(w *Builder, d Datum) {
+	w.U8(d.Tag)
+	if d.Tag == DatumInt {
+		w.I64(d.I)
+	} else {
+		w.Str(d.S)
+	}
+}
+
+// GetDatum reads one datum.
+func GetDatum(r *Parser) Datum {
+	tag := r.U8()
+	if tag == DatumInt {
+		return Datum{Tag: DatumInt, I: r.I64()}
+	}
+	return Datum{Tag: DatumText, S: r.Str()}
+}
+
+// PutRows appends a row block: u32 row count, then per row a u16 datum
+// count and the datums.
+func PutRows(w *Builder, rows [][]Datum) {
+	w.U32(uint32(len(rows)))
+	for _, row := range rows {
+		w.U16(uint16(len(row)))
+		for _, d := range row {
+			PutDatum(w, d)
+		}
+	}
+}
+
+// GetRows reads a row block.
+func GetRows(r *Parser) [][]Datum {
+	n := int(r.U32())
+	if n < 0 || n > MaxFrame {
+		return nil
+	}
+	rows := make([][]Datum, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		m := int(r.U16())
+		row := make([]Datum, 0, m)
+		for j := 0; j < m; j++ {
+			row = append(row, GetDatum(r))
+		}
+		if r.Err() != nil {
+			return nil
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PutStrings appends a string list.
+func PutStrings(w *Builder, ss []string) {
+	w.U16(uint16(len(ss)))
+	for _, s := range ss {
+		w.Str(s)
+	}
+}
+
+// GetStrings reads a string list.
+func GetStrings(r *Parser) []string {
+	n := int(r.U16())
+	out := make([]string, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		out = append(out, r.Str())
+	}
+	return out
+}
+
+// --- STATS codec ---
+
+// Stats is the STATS verb's payload: the engine indicators of core.Stats
+// that matter remotely, plus the server's own service-level counters and
+// request-latency percentiles.
+type Stats struct {
+	// Engine indicators (the Figure 2 set).
+	Statements        int64
+	VersionsLive      int64
+	VersionsLiveBytes int64
+	VersionsCreated   int64
+	VersionsReclaimed int64
+	VersionsMigrated  int64
+	ActiveSnapshots   int64
+	CurrentCID        ts.CID
+	GlobalHorizon     ts.CID
+	ActiveCIDRange    ts.CID
+	TxnsCommitted     int64
+	GroupsCommitted   int64
+	FailStop          bool
+
+	// Degradation ladder (PR 1).
+	PressureEnabled       bool
+	PressureLevel         string
+	PressureLive          int64
+	PressureSoft          int64
+	PressureHard          int64
+	PressureSoftTrips     int64
+	PressureEmergencies   int64
+	PressureBackpressured int64
+	PressureRejected      int64
+	PressureEvicted       int64
+
+	// Service layer.
+	Conns         int64
+	ConnsTotal    int64
+	Requests      int64
+	RequestErrors int64
+	BytesIn       int64
+	BytesOut      int64
+	CursorsOpen   int64
+	CursorsReaped int64
+	LatMean       time.Duration
+	LatP50        time.Duration
+	LatP95        time.Duration
+	LatP99        time.Duration
+}
+
+// Encode appends the stats payload.
+func (s *Stats) Encode(w *Builder) {
+	w.I64(s.Statements).I64(s.VersionsLive).I64(s.VersionsLiveBytes)
+	w.I64(s.VersionsCreated).I64(s.VersionsReclaimed).I64(s.VersionsMigrated)
+	w.I64(s.ActiveSnapshots)
+	w.U64(uint64(s.CurrentCID)).U64(uint64(s.GlobalHorizon)).U64(uint64(s.ActiveCIDRange))
+	w.I64(s.TxnsCommitted).I64(s.GroupsCommitted).Bool(s.FailStop)
+	w.Bool(s.PressureEnabled).Str(s.PressureLevel)
+	w.I64(s.PressureLive).I64(s.PressureSoft).I64(s.PressureHard)
+	w.I64(s.PressureSoftTrips).I64(s.PressureEmergencies).I64(s.PressureBackpressured)
+	w.I64(s.PressureRejected).I64(s.PressureEvicted)
+	w.I64(s.Conns).I64(s.ConnsTotal).I64(s.Requests).I64(s.RequestErrors)
+	w.I64(s.BytesIn).I64(s.BytesOut).I64(s.CursorsOpen).I64(s.CursorsReaped)
+	w.I64(int64(s.LatMean)).I64(int64(s.LatP50)).I64(int64(s.LatP95)).I64(int64(s.LatP99))
+}
+
+// DecodeStats reads a stats payload.
+func DecodeStats(r *Parser) Stats {
+	var s Stats
+	s.Statements, s.VersionsLive, s.VersionsLiveBytes = r.I64(), r.I64(), r.I64()
+	s.VersionsCreated, s.VersionsReclaimed, s.VersionsMigrated = r.I64(), r.I64(), r.I64()
+	s.ActiveSnapshots = r.I64()
+	s.CurrentCID, s.GlobalHorizon, s.ActiveCIDRange = ts.CID(r.U64()), ts.CID(r.U64()), ts.CID(r.U64())
+	s.TxnsCommitted, s.GroupsCommitted, s.FailStop = r.I64(), r.I64(), r.Bool()
+	s.PressureEnabled, s.PressureLevel = r.Bool(), r.Str()
+	s.PressureLive, s.PressureSoft, s.PressureHard = r.I64(), r.I64(), r.I64()
+	s.PressureSoftTrips, s.PressureEmergencies, s.PressureBackpressured = r.I64(), r.I64(), r.I64()
+	s.PressureRejected, s.PressureEvicted = r.I64(), r.I64()
+	s.Conns, s.ConnsTotal, s.Requests, s.RequestErrors = r.I64(), r.I64(), r.I64(), r.I64()
+	s.BytesIn, s.BytesOut, s.CursorsOpen, s.CursorsReaped = r.I64(), r.I64(), r.I64(), r.I64()
+	s.LatMean, s.LatP50 = time.Duration(r.I64()), time.Duration(r.I64())
+	s.LatP95, s.LatP99 = time.Duration(r.I64()), time.Duration(r.I64())
+	return s
+}

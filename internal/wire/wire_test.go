@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridgc/internal/core"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := (&Builder{}).U32(7).Str("hello").Take()
+	if _, err := WriteFrame(&buf, OpExec, body); err != nil {
+		t.Fatal(err)
+	}
+	op, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpExec || !bytes.Equal(got, body) {
+		t.Fatalf("frame round trip: op=%d body=%v", op, got)
+	}
+}
+
+func TestFrameLengthBounds(t *testing.T) {
+	// A zero-length frame (no opcode) is rejected.
+	r := bytes.NewReader([]byte{0, 0, 0, 0})
+	if _, _, err := ReadFrame(r); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	// An absurd length prefix is rejected before allocation.
+	r = bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, _, err := ReadFrame(r); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if _, err := WriteFrame(&bytes.Buffer{}, OpPing, make([]byte, MaxFrame)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestParserStickyError(t *testing.T) {
+	r := NewParser((&Builder{}).U32(5).Take())
+	_ = r.U64() // runs past the body
+	if r.Err() == nil {
+		t.Fatal("overrun not reported")
+	}
+	if got := r.U32(); got != 0 {
+		t.Fatalf("post-failure read returned %d", got)
+	}
+	if r.Str() != "" || r.Bytes() != nil {
+		t.Fatal("post-failure reads must be zero")
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	w := &Builder{}
+	w.U8(3).U16(500).U32(1 << 20).U64(1 << 40).I64(-9).Bool(true)
+	w.Bytes([]byte{1, 2, 3}).Str("drei")
+	r := NewParser(w.Take())
+	if r.U8() != 3 || r.U16() != 500 || r.U32() != 1<<20 || r.U64() != 1<<40 {
+		t.Fatal("unsigned round trip broke")
+	}
+	if r.I64() != -9 || !r.Bool() {
+		t.Fatal("signed/bool round trip broke")
+	}
+	if !bytes.Equal(r.Bytes(), []byte{1, 2, 3}) || r.Str() != "drei" {
+		t.Fatal("bytes/string round trip broke")
+	}
+	if r.Err() != nil || r.Rest() != 0 {
+		t.Fatalf("err=%v rest=%d", r.Err(), r.Rest())
+	}
+}
+
+func TestRowsRoundTrip(t *testing.T) {
+	rows := [][]Datum{
+		{{Tag: DatumInt, I: 42}, {Tag: DatumText, S: "x"}},
+		{{Tag: DatumInt, I: -1}, {Tag: DatumText, S: strings.Repeat("y", 300)}},
+	}
+	w := &Builder{}
+	PutRows(w, rows)
+	got := GetRows(NewParser(w.Take()))
+	if len(got) != 2 || got[0][0].I != 42 || got[1][1].S != rows[1][1].S {
+		t.Fatalf("rows round trip: %+v", got)
+	}
+	if got[0][1].String() != "x" || got[0][0].String() != "42" {
+		t.Fatal("datum String broke")
+	}
+}
+
+func TestErrorCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		code uint16
+	}{
+		{core.ErrWriteConflict, ECodeWriteConflict},
+		{core.ErrVersionPressure, ECodeVersionPressure},
+		{core.ErrFailStop, ECodeFailStop},
+		{core.ErrSnapshotKilled, ECodeSnapshotKilled},
+		{core.ErrRecordNotFound, ECodeRecordNotFound},
+		{core.ErrTableNotFound, ECodeTableNotFound},
+		{ErrDraining, ECodeDraining},
+		{errors.New("anything else"), ECodeGeneric},
+	}
+	for _, c := range cases {
+		if got := ErrorCode(c.err); got != c.code {
+			t.Fatalf("ErrorCode(%v) = %d, want %d", c.err, got, c.code)
+		}
+	}
+}
+
+func TestWireErrorUnwrapsToSentinel(t *testing.T) {
+	e := &Error{Code: ECodeVersionPressure, Msg: "remote: version pressure"}
+	if !errors.Is(e, core.ErrVersionPressure) {
+		t.Fatal("wire error does not unwrap to ErrVersionPressure")
+	}
+	if !core.IsTransient(e) {
+		t.Fatal("wire-carried pressure error must stay transient")
+	}
+	conflict := &Error{Code: ECodeWriteConflict, Msg: "remote: conflict"}
+	if !core.IsTransient(conflict) {
+		t.Fatal("wire-carried conflict must stay transient")
+	}
+	failstop := &Error{Code: ECodeFailStop, Msg: "remote: fail-stop"}
+	if core.IsTransient(failstop) {
+		t.Fatal("fail-stop must not be transient")
+	}
+	if (&Error{Code: ECodeGeneric, Msg: "x"}).Unwrap() != nil {
+		t.Fatal("generic errors unwrap to nil")
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	in := Stats{
+		Statements: 10, VersionsLive: 20, VersionsLiveBytes: 30,
+		VersionsCreated: 40, VersionsReclaimed: 50, VersionsMigrated: 60,
+		ActiveSnapshots: 2, CurrentCID: 99, GlobalHorizon: 88, ActiveCIDRange: 11,
+		TxnsCommitted: 5, GroupsCommitted: 4, FailStop: true,
+		PressureEnabled: true, PressureLevel: "soft",
+		PressureLive: 7, PressureSoft: 8, PressureHard: 9,
+		PressureSoftTrips: 1, PressureEmergencies: 2, PressureBackpressured: 3,
+		PressureRejected: 4, PressureEvicted: 5,
+		Conns: 3, ConnsTotal: 30, Requests: 1000, RequestErrors: 1,
+		BytesIn: 12345, BytesOut: 54321, CursorsOpen: 2, CursorsReaped: 6,
+		LatMean: time.Millisecond, LatP50: 2 * time.Millisecond,
+		LatP95: 3 * time.Millisecond, LatP99: 4 * time.Millisecond,
+	}
+	w := &Builder{}
+	in.Encode(w)
+	r := NewParser(w.Take())
+	out := DecodeStats(r)
+	if r.Err() != nil || r.Rest() != 0 {
+		t.Fatalf("err=%v rest=%d", r.Err(), r.Rest())
+	}
+	if out != in {
+		t.Fatalf("stats round trip:\n in=%+v\nout=%+v", in, out)
+	}
+}
