@@ -14,10 +14,10 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages (group commit, GC, version
-# space, pressure controller, and the network service layer) with -short to
-# keep CI latency sane.
+# space, pressure controller, the network service layer, and replication)
+# with -short to keep CI latency sane.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/txn/... ./internal/gc/... ./internal/mvcc/... ./internal/sql/... ./internal/server/... ./internal/client/...
+	$(GO) test -race -short ./internal/core/... ./internal/txn/... ./internal/gc/... ./internal/mvcc/... ./internal/sql/... ./internal/server/... ./internal/client/... ./internal/repl/...
 
 check: vet build test race
 

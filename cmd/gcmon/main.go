@@ -28,6 +28,7 @@ import (
 	"hybridgc/internal/core"
 	"hybridgc/internal/gc"
 	"hybridgc/internal/tpcc"
+	"hybridgc/internal/wal"
 	"hybridgc/internal/wire"
 	"hybridgc/internal/workload"
 )
@@ -165,6 +166,9 @@ func monitorRemote(addr, token string, duration, interval time.Duration) {
 				fmt.Sprintf("%.1fs", time.Since(start).Seconds()),
 				st.VersionsLive, st.ActiveCIDRange, fmtBytes(st.VersionsLiveBytes),
 				st.VersionsReclaimed, fmtRemotePressure(st))
+			for _, line := range fmtRepl(st) {
+				fmt.Println(line)
+			}
 		case <-deadline:
 			st, err := cl.Stats()
 			if err != nil {
@@ -172,8 +176,44 @@ func monitorRemote(addr, token string, duration, interval time.Duration) {
 			}
 			fmt.Printf("\nfinal: versions=%d reclaimed=%d migrated=%d cursors open=%d failstop=%v\n",
 				st.VersionsLive, st.VersionsReclaimed, st.VersionsMigrated, st.CursorsOpen, st.FailStop)
+			for _, line := range fmtRepl(st) {
+				fmt.Println(line)
+			}
 			return
 		}
+	}
+}
+
+// fmtRepl renders the replication state carried in a remote STATS payload:
+// on a primary, one line per known replica (applied position, segment lag,
+// pinned snapshot timestamp, report age, demotion); on a replica, its
+// applied cursor against the primary's stream head.
+func fmtRepl(st wire.Stats) []string {
+	switch st.ReplRole {
+	case "primary":
+		lines := []string{fmt.Sprintf("  repl: primary head=%s sent=%d demotions=%d",
+			wal.LSN(st.ReplPrimaryLSN), st.ReplRecordsSent, st.ReplDemotions)}
+		for _, r := range st.Replicas {
+			state := "connected"
+			if r.Demoted {
+				state = "DEMOTED"
+			} else if !r.Connected {
+				state = "away"
+			}
+			pin := "-"
+			if r.PinnedSTS != 0 {
+				pin = fmt.Sprintf("%d", r.PinnedSTS)
+			}
+			lines = append(lines, fmt.Sprintf("  repl:   %-12s %-9s applied=%-12s lag=%dseg pin=%s age=%s",
+				r.ID, state, wal.LSN(r.AppliedLSN), r.SegmentLag, pin, r.LastReportAge.Truncate(time.Millisecond)))
+		}
+		return lines
+	case "replica":
+		return []string{fmt.Sprintf("  repl: replica of %s applied=%s head=%s applied-records=%d reconnects=%d",
+			st.ReplUpstream, wal.LSN(st.ReplAppliedLSN), wal.LSN(st.ReplPrimaryLSN),
+			st.ReplRecordsApplied, st.ReplReconnects)}
+	default:
+		return nil
 	}
 }
 

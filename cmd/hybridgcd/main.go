@@ -6,18 +6,28 @@
 // in-process one — the paper's Figure 2 blocker, observable over the
 // network.
 //
+// With -data the engine is persistent (WAL + checkpoints) and also acts as a
+// replication primary: replicas connect with OpReplStream, and their
+// reported snapshots join the cluster-wide GC horizon. With -replica-of the
+// process is a replica instead: it bootstraps from the primary's checkpoint,
+// tails its WAL, and serves read-only snapshot queries; local writes fail
+// with ErrReadOnly. A demoted replica (too far behind the primary's segment
+// retention) automatically rebuilds itself from a fresh checkpoint.
+//
 // SIGTERM / SIGINT drain gracefully: the listener closes, in-flight requests
-// finish and get their responses, idle connections are released, and every
-// open cursor is closed so its pinned snapshot stops blocking garbage
-// collection before the process exits.
+// finish and get their responses, replication streams end with a drain
+// notice, and every open cursor is closed so its pinned snapshot stops
+// blocking garbage collection before the process exits.
 //
 // Usage:
 //
 //	hybridgcd -addr :7654 -gc hg
-//	hybridgcd -addr :7654 -gc none -soft 50000   # watch the pressure ladder
+//	hybridgcd -addr :7654 -data /var/lib/hgc -checkpoint-every 30s
+//	hybridgcd -addr :7655 -replica-of 127.0.0.1:7654 -replica-id r1
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -29,9 +39,26 @@ import (
 
 	"hybridgc/internal/core"
 	"hybridgc/internal/gc"
+	"hybridgc/internal/repl"
 	"hybridgc/internal/server"
 	"hybridgc/internal/workload"
 )
+
+type options struct {
+	addr       string
+	token      string
+	maxConns   int
+	idle       time.Duration
+	gcMode     workload.Mode
+	soft, hard int64
+
+	data        string
+	sync        bool
+	ckptEvery   time.Duration
+	replicaOf   string
+	replicaID   string
+	upstreamTok string
+}
 
 func main() {
 	var (
@@ -42,6 +69,14 @@ func main() {
 		mode     = flag.String("gc", "hg", "garbage collection mode: none, gt, gttg, hg")
 		soft     = flag.Int64("soft", 0, "version-budget soft watermark (0 disables the budget)")
 		hard     = flag.Int64("hard", 0, "version-budget hard watermark (0 derives 2*soft)")
+
+		data      = flag.String("data", "", "persistence directory (WAL + checkpoints); enables serving replicas")
+		syncWAL   = flag.Bool("sync", false, "fsync the WAL on every commit group")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 disables; requires -data)")
+
+		replicaOf   = flag.String("replica-of", "", "primary address; run as a read-only replica of it")
+		replicaID   = flag.String("replica-id", "replica", "stable replica identity reported to the primary")
+		upstreamTok = flag.String("upstream-token", "", "auth token for the primary (replica mode)")
 	)
 	flag.Parse()
 
@@ -59,47 +94,102 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -gc mode %q\n", *mode)
 		os.Exit(2)
 	}
+	opts := options{
+		addr: *addr, token: *token, maxConns: *maxConns, idle: *idle,
+		gcMode: m, soft: *soft, hard: *hard,
+		data: *data, sync: *syncWAL, ckptEvery: *ckptEvery,
+		replicaOf: *replicaOf, replicaID: *replicaID, upstreamTok: *upstreamTok,
+	}
 
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	if opts.replicaOf != "" {
+		runReplica(opts, sig)
+		return
+	}
+	runPrimary(opts, sig)
+}
+
+func engineConfig(opts options, readOnly bool) core.Config {
 	base := gc.Periods{GT: 50 * time.Millisecond, TG: 150 * time.Millisecond, SI: 500 * time.Millisecond}
-	db, err := core.Open(core.Config{
-		GC:                 m.Periods(base),
+	cfg := core.Config{
+		GC:                 opts.gcMode.Periods(base),
 		LongLivedThreshold: 100 * time.Millisecond,
-		VersionBudget:      core.VersionBudget{Soft: *soft, Hard: *hard},
-	})
+		VersionBudget:      core.VersionBudget{Soft: opts.soft, Hard: opts.hard},
+		ReadOnly:           readOnly,
+	}
+	if !readOnly && opts.data != "" {
+		cfg.Persistence = &core.Persistence{Dir: opts.data, Sync: opts.sync}
+	}
+	return cfg
+}
+
+// runPrimary serves a standalone or primary engine until a signal drains it.
+func runPrimary(opts options, sig <-chan os.Signal) {
+	db, err := core.Open(engineConfig(opts, false))
 	if err != nil {
 		fatal(err)
 	}
 	defer db.Close()
-	if m != workload.ModeNone {
+	if opts.gcMode != workload.ModeNone {
 		db.GC().Start()
 		defer db.GC().Stop()
 	}
 
-	srv, err := server.New(db, server.Config{
-		Token:       *token,
-		MaxConns:    *maxConns,
-		IdleTimeout: *idle,
-	})
+	srvCfg := server.Config{Token: opts.token, MaxConns: opts.maxConns, IdleTimeout: opts.idle}
+	var src *repl.Source
+	if opts.data != "" {
+		src, err = repl.NewSource(db, repl.SourceConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		defer src.Close()
+		srvCfg.Repl = src
+		srvCfg.StatsHook = src.PopulateStats
+	}
+	srv, err := server.New(db, srvCfg)
 	if err != nil {
 		fatal(err)
 	}
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("hybridgcd: listening on %s (gc=%s maxconns=%d)\n", ln.Addr(), m, *maxConns)
+	role := "standalone"
+	if src != nil {
+		role = "primary"
+	}
+	fmt.Printf("hybridgcd: listening on %s (role=%s gc=%s maxconns=%d)\n", ln.Addr(), role, opts.gcMode, opts.maxConns)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	stopCkpt := make(chan struct{})
+	if opts.ckptEvery > 0 && opts.data != "" {
+		go func() {
+			t := time.NewTicker(opts.ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-t.C:
+					if err := db.Checkpoint(); err != nil {
+						fmt.Fprintln(os.Stderr, "hybridgcd: checkpoint:", err)
+					}
+				}
+			}
+		}()
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
-
 	select {
 	case s := <-sig:
 		fmt.Printf("hybridgcd: %v — draining...\n", s)
+		close(stopCkpt)
 		srv.Shutdown(5 * time.Second)
 		<-done
 	case err := <-done:
+		close(stopCkpt)
 		if err != nil {
 			fatal(err)
 		}
@@ -111,6 +201,82 @@ func main() {
 	fmt.Printf("hybridgcd: versions live=%d reclaimed=%d, cursors reaped=%d, latency p50=%s p99=%s\n",
 		st.VersionsLive, st.VersionsReclaimed, st.CursorsReaped,
 		time.Duration(st.LatP50), time.Duration(st.LatP99))
+	if src != nil {
+		fmt.Printf("hybridgcd: replication sent=%d records, demotions=%d, replicas=%d\n",
+			st.ReplRecordsSent, st.ReplDemotions, len(st.Replicas))
+	}
+}
+
+// runReplica serves a read-only replica, rebuilding the engine from a fresh
+// checkpoint whenever the primary requires a re-bootstrap.
+func runReplica(opts options, sig <-chan os.Signal) {
+	for {
+		db, err := core.Open(engineConfig(opts, true))
+		if err != nil {
+			fatal(err)
+		}
+		if opts.gcMode != workload.ModeNone {
+			db.GC().Start()
+		}
+		rep, err := repl.NewReplica(db, repl.ReplicaConfig{
+			Upstream:  opts.replicaOf,
+			Token:     opts.upstreamTok,
+			ReplicaID: opts.replicaID,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := server.New(db, server.Config{
+			Token: opts.token, MaxConns: opts.maxConns, IdleTimeout: opts.idle,
+			StatsHook: rep.PopulateStats,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", opts.addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hybridgcd: listening on %s (role=replica of %s id=%s)\n", ln.Addr(), opts.replicaOf, opts.replicaID)
+
+		srvDone := make(chan error, 1)
+		go func() { srvDone <- srv.Serve(ln) }()
+		repDone := make(chan error, 1)
+		go func() { repDone <- rep.Run() }()
+
+		select {
+		case s := <-sig:
+			fmt.Printf("hybridgcd: %v — draining...\n", s)
+			rep.Stop()
+			srv.Shutdown(5 * time.Second)
+			<-srvDone
+			<-repDone
+			db.Close()
+			fmt.Printf("hybridgcd: replica applied %s\n", rep.AppliedLSN())
+			return
+		case err := <-repDone:
+			rep.Stop()
+			srv.Shutdown(5 * time.Second)
+			<-srvDone
+			db.Close()
+			if errors.Is(err, repl.ErrBootstrapRequired) {
+				fmt.Fprintln(os.Stderr, "hybridgcd: re-bootstrapping:", err)
+				continue // fresh engine, fresh checkpoint
+			}
+			if err != nil {
+				fatal(err)
+			}
+			return
+		case err := <-srvDone:
+			rep.Stop()
+			<-repDone
+			db.Close()
+			if err != nil {
+				fatal(err)
+			}
+			return
+		}
+	}
 }
 
 func fatal(err error) {

@@ -43,6 +43,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		addr       = flag.String("addr", "", "hybridgcd address; empty runs the engine in-process")
 		token      = flag.String("token", "", "auth token for -addr")
+		checkAddr  = flag.String("check-addr", "", "read-only endpoint (e.g. a replica) to run the consistency check against")
+		checkToken = flag.String("check-token", "", "auth token for -check-addr")
 	)
 	flag.Parse()
 	remote := *addr != ""
@@ -182,12 +184,60 @@ func main() {
 	}
 
 	if *check {
+		if *checkAddr != "" {
+			// Route the check leg through the read-only endpoint — its
+			// snapshot must first catch up to the primary's commit
+			// timestamp, since replication is asynchronous.
+			ccl, err := client.Dial(client.Config{Addr: *checkAddr, Token: *checkToken, MaxConns: 1})
+			if err != nil {
+				fatal(err)
+			}
+			defer ccl.Close()
+			target := currentCID(db, cl)
+			fmt.Printf("\nwaiting for %s to reach CID %d... ", *checkAddr, target)
+			if err := waitForCID(ccl, target, 30*time.Second); err != nil {
+				fatal(err)
+			}
+			fmt.Println("caught up")
+			driver.SetCheckBackend(tpcc.RemoteBackend(ccl))
+		}
 		fmt.Print("\nconsistency check... ")
 		if err := driver.Check(); err != nil {
 			fmt.Println("FAILED")
 			fatal(err)
 		}
 		fmt.Println("OK")
+	}
+}
+
+// currentCID reads the workload side's commit timestamp.
+func currentCID(db *core.DB, cl *client.Client) uint64 {
+	if db != nil {
+		return uint64(db.Stats().CurrentCID)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	return uint64(st.CurrentCID)
+}
+
+// waitForCID polls the endpoint's STATS until its commit timestamp reaches
+// target — CIDs are primary-assigned, so both ends share one CID space.
+func waitForCID(cl *client.Client, target uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := cl.Stats()
+		if err != nil {
+			return err
+		}
+		if uint64(st.CurrentCID) >= target {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("endpoint stuck at CID %d, want %d", st.CurrentCID, target)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +36,10 @@ var (
 	ErrSnapshotKilled = errors.New("core: snapshot force-closed by watchdog")
 	// ErrWriteConflict re-exports the transaction layer's conflict error.
 	ErrWriteConflict = txn.ErrWriteConflict
+	// ErrReadOnly reports a write on a read-only engine — a replica applying
+	// a replication stream. Replicated writes enter through the Apply* path,
+	// which bypasses this gate.
+	ErrReadOnly = errors.New("core: database is read-only")
 )
 
 // Config tunes a DB instance.
@@ -74,6 +79,11 @@ type Config struct {
 	// CooperativeThreshold is the traversal depth that triggers a handoff
 	// (default 8).
 	CooperativeThreshold int
+	// ReadOnly opens the engine as a replica target: every public write path
+	// (CreateTable, Insert, Update, Delete) fails with ErrReadOnly, while the
+	// replication Apply* methods still mutate state. Reads, snapshots,
+	// cursors and garbage collection are unaffected.
+	ReadOnly bool
 	// VersionBudget, when its watermarks are set, bounds the version space:
 	// crossing the soft watermark triggers emergency collection, sustained
 	// pressure applies writer backpressure (ErrVersionPressure after a
@@ -99,6 +109,13 @@ type DB struct {
 	log        *wal.Log
 	persistDir string
 	fail       *failState
+	readOnly   bool
+
+	// retention, when set, lower-bounds which log segments Checkpoint may
+	// prune: it returns the lowest segment sequence still needed (by the
+	// slowest replica) and whether a constraint exists at all.
+	retentionMu sync.Mutex
+	retention   func() (lowestSeg uint64, ok bool)
 
 	// Cooperative GC plumbing: readers enqueue long chains, one worker
 	// reclaims them with the current horizons. The channel is never closed
@@ -158,6 +175,7 @@ func Open(cfg Config) (*DB, error) {
 		log:        lg,
 		persistDir: persistDir,
 		fail:       fail,
+		readOnly:   cfg.ReadOnly,
 	}
 	db.hybrid.TG.Resolver = db.partitionResolver
 	if cfg.CooperativeGC {
@@ -291,9 +309,43 @@ func (db *DB) Manager() *txn.Manager { return db.m }
 // Space exposes the version space for monitoring.
 func (db *DB) Space() *mvcc.Space { return db.space }
 
+// ReadOnly reports whether the engine rejects public writes (replica mode).
+func (db *DB) ReadOnly() bool { return db.readOnly }
+
+// WAL exposes the write-ahead log, or nil without persistence. The
+// replication source subscribes to it for live tailing.
+func (db *DB) WAL() *wal.Log { return db.log }
+
+// PersistDir returns the persistence directory ("" without persistence).
+func (db *DB) PersistDir() string { return db.persistDir }
+
+// SetSegmentRetention installs (or, with nil, removes) the hook that
+// lower-bounds log-segment pruning: Checkpoint keeps every segment with
+// sequence >= the returned lowest-needed value while ok is true, so segment
+// retention never outruns the slowest replica still catching up from disk.
+func (db *DB) SetSegmentRetention(fn func() (lowestSeg uint64, ok bool)) {
+	db.retentionMu.Lock()
+	db.retention = fn
+	db.retentionMu.Unlock()
+}
+
+// segmentRetention consults the hook.
+func (db *DB) segmentRetention() (uint64, bool) {
+	db.retentionMu.Lock()
+	fn := db.retention
+	db.retentionMu.Unlock()
+	if fn == nil {
+		return 0, false
+	}
+	return fn()
+}
+
 // CreateTable registers a new table and returns its ID. With persistence on
 // the DDL is logged before the table becomes usable.
 func (db *DB) CreateTable(name string) (ts.TableID, error) {
+	if db.readOnly {
+		return 0, ErrReadOnly
+	}
 	if err := db.fail.check(); err != nil {
 		return 0, err
 	}

@@ -187,7 +187,20 @@ func (db *DB) Checkpoint() error {
 	if err := wal.WriteCheckpoint(db.persistDir, ck); err != nil {
 		return err
 	}
-	return wal.RemoveSegmentsThrough(db.persistDir, closedSeq)
+	// The checkpoint covers every closed segment, but a replica still
+	// catching up from disk may need some of them: the retention hook
+	// reports the lowest segment sequence any replica still reads, and
+	// pruning stops below it.
+	through := closedSeq
+	if low, ok := db.segmentRetention(); ok {
+		if low == 0 {
+			return nil // a bootstrapping replica needs everything
+		}
+		if low <= through {
+			through = low - 1
+		}
+	}
+	return wal.RemoveSegmentsThrough(db.persistDir, through)
 }
 
 // logDDL records a table creation when persistence is on.

@@ -121,6 +121,9 @@ func (tx *Tx) Insert(tid ts.TableID, img []byte) (ts.RID, error) {
 	if err != nil {
 		return 0, err
 	}
+	if tx.db.readOnly {
+		return 0, ErrReadOnly
+	}
 	if err := tx.checkWriteScope(tid); err != nil {
 		return 0, err
 	}
@@ -156,6 +159,9 @@ func (tx *Tx) write(op mvcc.OpType, tid ts.TableID, rid ts.RID, img []byte) erro
 	tbl, err := tx.db.tableByID(tid)
 	if err != nil {
 		return err
+	}
+	if tx.db.readOnly {
+		return ErrReadOnly
 	}
 	if err := tx.checkWriteScope(tid); err != nil {
 		return err

@@ -1,0 +1,575 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridgc/internal/core"
+	"hybridgc/internal/fault"
+	"hybridgc/internal/gc"
+	"hybridgc/internal/server"
+	"hybridgc/internal/sql"
+	"hybridgc/internal/tpcc"
+	"hybridgc/internal/ts"
+	"hybridgc/internal/txn"
+	"hybridgc/internal/wal"
+	"hybridgc/internal/wire"
+)
+
+// fastSource keeps stream timing tight enough for loopback tests without
+// making staleness sweeps race the assertions.
+func fastSource() SourceConfig {
+	return SourceConfig{HeartbeatEvery: 10 * time.Millisecond, StaleAfter: 30 * time.Second}
+}
+
+type primary struct {
+	db   *core.DB
+	src  *Source
+	srv  *server.Server
+	addr string
+}
+
+// startPrimary opens a persistent engine, wraps it in a replication source
+// and serves it on a loopback listener. tweak, when set, adjusts the engine
+// config (GC periods for the workload test) before Open.
+func startPrimary(t *testing.T, scfg SourceConfig, tweak func(*core.Config)) *primary {
+	t.Helper()
+	cfg := core.Config{Persistence: &core.Persistence{Dir: t.TempDir()}}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	db, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(db, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(db, server.Config{Repl: src, StatsHook: src.PopulateStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Shutdown(5 * time.Second)
+		<-served
+		src.Close()
+		db.Close()
+	})
+	return &primary{db: db, src: src, srv: srv, addr: ln.Addr().String()}
+}
+
+type replica struct {
+	db     *core.DB
+	rep    *Replica
+	runErr chan error
+	exited bool
+	once   sync.Once
+}
+
+// startReplica opens a fresh read-only engine and streams the primary into
+// it until shutdown.
+func startReplica(t *testing.T, addr, id string) *replica {
+	t.Helper()
+	rdb, err := core.Open(core.Config{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplica(rdb, ReplicaConfig{
+		Upstream:      addr,
+		ReplicaID:     id,
+		ReportEvery:   10 * time.Millisecond,
+		ReconnectBase: 10 * time.Millisecond,
+		StallTimeout:  3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &replica{db: rdb, rep: rep, runErr: make(chan error, 1)}
+	go func() { r.runErr <- rep.Run() }()
+	t.Cleanup(r.shutdown)
+	return r
+}
+
+func (r *replica) shutdown() {
+	r.once.Do(func() {
+		r.rep.Stop()
+		if !r.exited {
+			select {
+			case <-r.runErr:
+			case <-time.After(5 * time.Second):
+			}
+		}
+		r.db.Close()
+	})
+}
+
+// waitExit blocks until Run returns (a demotion or stream-fatal error path).
+func (r *replica) waitExit(t *testing.T, timeout time.Duration) error {
+	t.Helper()
+	select {
+	case err := <-r.runErr:
+		r.exited = true
+		return err
+	case <-time.After(timeout):
+		t.Fatal("replica Run did not exit")
+		return nil
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+}
+
+func waitCaughtUp(t *testing.T, p *primary, r *replica) {
+	t.Helper()
+	if err := r.rep.WaitLSN(p.db.WAL().NextLSN(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCreateTable(t *testing.T, db *core.DB, name string) ts.TableID {
+	t.Helper()
+	tid, err := db.CreateTable(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tid
+}
+
+func mustInsert(t *testing.T, db *core.DB, tid ts.TableID, img string) ts.RID {
+	t.Helper()
+	var rid ts.RID
+	err := db.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+		var err error
+		rid, err = tx.Insert(tid, []byte(img))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rid
+}
+
+func mustUpdate(t *testing.T, db *core.DB, tid ts.TableID, rid ts.RID, img string) {
+	t.Helper()
+	err := db.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+		return tx.Update(tid, rid, []byte(img))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readRow reads a row on the replica at its current commit horizon.
+func readRow(db *core.DB, tid ts.TableID, rid ts.RID) (string, bool) {
+	img, ok := db.ReadAt(tid, rid, db.Manager().CurrentTS())
+	return string(img), ok
+}
+
+func TestBootstrapCatchUpAndLiveTail(t *testing.T) {
+	p := startPrimary(t, fastSource(), nil)
+	tid := mustCreateTable(t, p.db, "accounts")
+	var rids []ts.RID
+	for i := 0; i < 5; i++ {
+		rids = append(rids, mustInsert(t, p.db, tid, fmt.Sprintf("row-%d", i)))
+	}
+
+	r := startReplica(t, p.addr, "r1")
+	waitCaughtUp(t, p, r)
+
+	// DDL replicated with the primary-assigned table ID.
+	if got := r.db.TableID("accounts"); got != tid {
+		t.Fatalf("replica table id = %d, want %d", got, tid)
+	}
+	for i, rid := range rids {
+		img, ok := readRow(r.db, tid, rid)
+		if !ok || img != fmt.Sprintf("row-%d", i) {
+			t.Fatalf("row %d: got %q ok=%v", i, img, ok)
+		}
+	}
+
+	// Live tail: a post-bootstrap commit arrives without reconnecting.
+	rid := mustInsert(t, p.db, tid, "after-bootstrap")
+	waitCaughtUp(t, p, r)
+	if img, ok := readRow(r.db, tid, rid); !ok || img != "after-bootstrap" {
+		t.Fatalf("tailed row: got %q ok=%v", img, ok)
+	}
+	if n := r.rep.reconnects.Load(); n != 0 {
+		t.Fatalf("live tail took %d reconnects", n)
+	}
+
+	// The replica's engine refuses local writes.
+	if _, err := r.db.CreateTable("x"); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("replica DDL: %v, want ErrReadOnly", err)
+	}
+	err := r.db.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+		_, err := tx.Insert(tid, []byte("w"))
+		return err
+	})
+	if !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("replica insert: %v, want ErrReadOnly", err)
+	}
+
+	// A second stream under the same identity is refused while the first is
+	// connected.
+	if _, err := p.src.admit(wire.ReplStreamRequest{ReplicaID: "r1"}); !errors.Is(err, wire.ErrBadRequest) {
+		t.Fatalf("duplicate stream admit: %v, want ErrBadRequest", err)
+	}
+}
+
+func TestReplicaSnapshotPinsClusterHorizon(t *testing.T) {
+	p := startPrimary(t, fastSource(), nil)
+	tid := mustCreateTable(t, p.db, "accounts")
+	rid := mustInsert(t, p.db, tid, "v0")
+
+	r := startReplica(t, p.addr, "r1")
+	waitCaughtUp(t, p, r)
+
+	// A long-lived cursor on the replica: its snapshot timestamp must become
+	// the primary's global GC horizon within a report interval.
+	cur, err := r.db.OpenCursor(tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := cur.SnapshotTS()
+	waitFor(t, 5*time.Second, "replica pin to reach the primary", func() bool {
+		return p.db.Manager().GlobalHorizon() == pin
+	})
+
+	// Churn on the primary builds a version chain the pinned horizon keeps
+	// alive: global-tracker GC must reclaim nothing.
+	for i := 1; i <= 30; i++ {
+		mustUpdate(t, p.db, tid, rid, fmt.Sprintf("v%d", i))
+	}
+	before := p.db.Stats().VersionsReclaimed
+	p.db.GC().RunGT()
+	if got := p.db.Stats().VersionsReclaimed - before; got != 0 {
+		t.Fatalf("GT reclaimed %d versions under a remote pin", got)
+	}
+	if h := p.db.Manager().GlobalHorizon(); h != pin {
+		t.Fatalf("horizon drifted to %d while the replica cursor is open (pin %d)", h, pin)
+	}
+
+	// Releasing the replica's snapshot clears the pin and GC catches up.
+	cur.Close()
+	waitFor(t, 5*time.Second, "pin release to reach the primary", func() bool {
+		return p.db.Manager().GlobalHorizon() > pin
+	})
+	p.db.GC().RunGT()
+	if got := p.db.Stats().VersionsReclaimed - before; got < 25 {
+		t.Fatalf("GT reclaimed only %d versions after the pin cleared", got)
+	}
+}
+
+func TestSegmentRetentionAndRestartRebootstrap(t *testing.T) {
+	p := startPrimary(t, fastSource(), nil)
+	tid := mustCreateTable(t, p.db, "accounts")
+	for i := 0; i < 4; i++ {
+		mustInsert(t, p.db, tid, fmt.Sprintf("early-%d", i))
+	}
+
+	r1 := startReplica(t, p.addr, "dr")
+	waitCaughtUp(t, p, r1)
+	active := p.db.WAL().NextLSN().Segment()
+	waitFor(t, 5*time.Second, "floor to reach the active segment", func() bool {
+		low, ok := p.src.lowestNeeded()
+		return ok && low >= active
+	})
+	floor, _ := p.src.lowestNeeded()
+
+	// Kill the replica. Its floor must survive the disconnect (StaleAfter is
+	// far away) and hold segment retention while checkpoints roll the log.
+	r1.shutdown()
+	for i := 0; i < 4; i++ {
+		mustInsert(t, p.db, tid, fmt.Sprintf("late-%d", i))
+	}
+	if err := p.db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := wal.Segments(p.db.PersistDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 || segs[0].Seq > floor {
+		t.Fatalf("lowest retained segment %v passed the away replica's floor %d", segs, floor)
+	}
+
+	// The restarted replica keeps no local state: same identity, fresh
+	// engine, bootstrap from checkpoint, then convergence.
+	r2 := startReplica(t, p.addr, "dr")
+	waitCaughtUp(t, p, r2)
+	for i := 0; i < 4; i++ {
+		if img, ok := readRow(r2.db, tid, ts.RID(i+1)); !ok || img != fmt.Sprintf("early-%d", i) {
+			t.Fatalf("early row %d after re-bootstrap: %q ok=%v", i, img, ok)
+		}
+	}
+
+	// Once it reports past the old floor, the next checkpoint prunes the
+	// tail the dead incarnation was holding.
+	waitFor(t, 5*time.Second, "floor to advance past the old incarnation", func() bool {
+		low, ok := p.src.lowestNeeded()
+		return ok && low > floor
+	})
+	if err := p.db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err = wal.Segments(p.db.PersistDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 || segs[0].Seq <= floor {
+		t.Fatalf("segments %v still retained below a dead floor %d", segs, floor)
+	}
+}
+
+func TestStreamDropReconnectsAndResumes(t *testing.T) {
+	p := startPrimary(t, fastSource(), nil)
+	tid := mustCreateTable(t, p.db, "accounts")
+	for i := 0; i < 3; i++ {
+		mustInsert(t, p.db, tid, fmt.Sprintf("row-%d", i))
+	}
+	r := startReplica(t, p.addr, "r1")
+	waitCaughtUp(t, p, r)
+
+	fault.Enable(FPStreamDrop, fault.Once(), fault.ReturnErr(errors.New("injected stream drop")))
+	t.Cleanup(func() { fault.Disable(FPStreamDrop) })
+	waitFor(t, 5*time.Second, "replica to notice the drop", func() bool {
+		return r.rep.reconnects.Load() >= 1
+	})
+
+	// The retry resumes from the applied LSN — no re-bootstrap — and the
+	// stream keeps delivering.
+	rid := mustInsert(t, p.db, tid, "post-drop")
+	waitCaughtUp(t, p, r)
+	if img, ok := readRow(r.db, tid, rid); !ok || img != "post-drop" {
+		t.Fatalf("post-drop row: %q ok=%v", img, ok)
+	}
+	if got, want := r.db.Manager().CurrentTS(), p.db.Manager().CurrentTS(); got != want {
+		t.Fatalf("replica at CID %d, primary at %d", got, want)
+	}
+}
+
+func TestPartialSegmentShipFailureResumes(t *testing.T) {
+	p := startPrimary(t, fastSource(), nil)
+	tid := mustCreateTable(t, p.db, "accounts")
+	for i := 0; i < 6; i++ {
+		mustInsert(t, p.db, tid, fmt.Sprintf("row-%d", i))
+	}
+
+	// The first catch-up attempt dies mid-segment; the replica must resume
+	// from wherever its applied cursor reached, not restart from scratch.
+	fault.Enable(FPPartialSegment, fault.After(3), fault.Once(), fault.ReturnErr(errors.New("injected catch-up abort")))
+	t.Cleanup(func() { fault.Disable(FPPartialSegment) })
+
+	r := startReplica(t, p.addr, "r1")
+	waitCaughtUp(t, p, r)
+	if n := r.rep.reconnects.Load(); n < 1 {
+		t.Fatalf("catch-up abort caused %d reconnects, want >=1", n)
+	}
+	for i := 0; i < 6; i++ {
+		if img, ok := readRow(r.db, tid, ts.RID(i+1)); !ok || img != fmt.Sprintf("row-%d", i) {
+			t.Fatalf("row %d after resumed catch-up: %q ok=%v", i, img, ok)
+		}
+	}
+}
+
+func TestLagDemotionForcesRebootstrap(t *testing.T) {
+	scfg := fastSource()
+	scfg.MaxSegmentLag = 1
+	p := startPrimary(t, scfg, nil)
+	tid := mustCreateTable(t, p.db, "accounts")
+	mustInsert(t, p.db, tid, "seed")
+
+	r := startReplica(t, p.addr, "laggard")
+	waitCaughtUp(t, p, r)
+
+	// Stall the applier, then ship one record so the applied cursor (and the
+	// floor derived from it) freezes while the primary's log rolls forward.
+	fault.Enable(FPApplyStall, fault.Sleep(1500*time.Millisecond))
+	t.Cleanup(func() { fault.Disable(FPApplyStall) })
+	sent := p.src.recordsSent.Load()
+	mustInsert(t, p.db, tid, "stalled")
+	waitFor(t, 5*time.Second, "the stalling record to ship", func() bool {
+		return p.src.recordsSent.Load() > sent
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := p.db.WAL().Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The heartbeat check demotes the stuck replica; its Run loop must
+	// surface the re-bootstrap signal rather than retrying forever.
+	err := r.waitExit(t, 10*time.Second)
+	if !errors.Is(err, ErrBootstrapRequired) {
+		t.Fatalf("stalled replica exited with %v, want ErrBootstrapRequired", err)
+	}
+	if n := p.src.demotions.Load(); n != 1 {
+		t.Fatalf("demotions = %d, want 1", n)
+	}
+	low, ok := p.src.lowestNeeded()
+	if ok {
+		t.Fatalf("demoted replica still pins segment retention at %d", low)
+	}
+	fault.Disable(FPApplyStall)
+	r.shutdown()
+
+	// The operator response: a fresh engine under the same identity
+	// bootstraps (demotion clears on a full bootstrap) and converges.
+	r2 := startReplica(t, p.addr, "laggard")
+	waitCaughtUp(t, p, r2)
+	if img, ok := readRow(r2.db, tid, 2); !ok || img != "stalled" {
+		t.Fatalf("post-demotion row: %q ok=%v", img, ok)
+	}
+}
+
+func TestSQLCatalogFollowsReplication(t *testing.T) {
+	p := startPrimary(t, fastSource(), nil)
+	sess := sql.NewSession(p.srv.Catalog())
+	for _, q := range []string{
+		"CREATE TABLE kv (k INT, v TEXT)",
+		"INSERT INTO kv VALUES (1, 'one')",
+		"INSERT INTO kv VALUES (2, 'two')",
+	} {
+		if _, err := sess.Execute(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+
+	r := startReplica(t, p.addr, "r1")
+	waitCaughtUp(t, p, r)
+
+	// A catalog attached to the empty read-only engine discovers replicated
+	// schema lazily — the meta table only exists once the stream applied it.
+	rcat, err := sql.NewCatalog(r.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsess := sql.NewSession(rcat)
+	res, err := rsess.Execute("SELECT k, v FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("replica SELECT returned %d rows, want 2", len(res.Rows))
+	}
+	if _, err := rsess.Execute("INSERT INTO kv VALUES (3, 'three')"); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("replica SQL insert: %v, want ErrReadOnly", err)
+	}
+}
+
+// TestTPCCUnderReplicaPinnedCursor is the acceptance scenario: TPC-C runs on
+// the primary while a replica-side cursor pins the cluster-wide horizon.
+// Hybrid GC must keep reclaiming (interval collection works above the pin),
+// the horizon must not pass the remote snapshot, and after release the
+// replicated state must pass the TPC-C consistency checks read through the
+// replica itself.
+func TestTPCCUnderReplicaPinnedCursor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload test")
+	}
+	p := startPrimary(t, SourceConfig{HeartbeatEvery: 20 * time.Millisecond, StaleAfter: 30 * time.Second},
+		func(c *core.Config) {
+			c.GC = gc.Periods{GT: 20 * time.Millisecond, TG: 60 * time.Millisecond, SI: 50 * time.Millisecond}
+			c.LongLivedThreshold = 50 * time.Millisecond
+		})
+	driver, err := tpcc.New(p.db, tpcc.Config{
+		Warehouses: 2, Districts: 2, CustomersPerDistrict: 8, Items: 40, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := driver.Load(); err != nil {
+		t.Fatal(err)
+	}
+	p.db.GC().Start()
+	defer p.db.GC().Stop()
+
+	r := startReplica(t, p.addr, "analytics")
+	waitCaughtUp(t, p, r)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	stopped := false
+	stopWorkers := func() {
+		if !stopped {
+			stopped = true
+			close(stop)
+			wg.Wait()
+		}
+	}
+	defer stopWorkers()
+	for w := 1; w <= 2; w++ {
+		wk := driver.NewWorker(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := wk.Run(1<<62, stop); err != nil {
+				t.Errorf("worker %d: %v", wk.Warehouse(), err)
+			}
+		}()
+	}
+
+	// Open the long-duration cursor on the replica mid-run, then wait for
+	// its report to land: the primary's horizon drops to (or below) the
+	// remote snapshot timestamp.
+	time.Sleep(100 * time.Millisecond)
+	cur, err := r.db.OpenCursor(r.db.TableID(tpcc.TableStock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := cur.SnapshotTS()
+	waitFor(t, 5*time.Second, "replica pin to reach the primary", func() bool {
+		return p.db.Manager().GlobalHorizon() <= pin
+	})
+	waitFor(t, 5*time.Second, "workload to advance past the pin", func() bool {
+		return p.db.Manager().CurrentTS() > pin+20
+	})
+
+	// Hybrid GC keeps working above the pin while the workload churns.
+	before := p.db.Stats().VersionsReclaimed
+	waitFor(t, 5*time.Second, "hybrid GC to reclaim under the pin", func() bool {
+		return p.db.Stats().VersionsReclaimed > before
+	})
+	// And through all of it, reclamation never crossed the remote snapshot.
+	if h := p.db.Manager().GlobalHorizon(); h > pin {
+		t.Fatalf("primary horizon %d passed the replica's open snapshot %d", h, pin)
+	}
+
+	stopWorkers()
+	cur.Close()
+	waitFor(t, 5*time.Second, "horizon to clear after release", func() bool {
+		return p.db.Manager().GlobalHorizon() > pin
+	})
+
+	// Converge, then run the consistency checks against the replica.
+	waitCaughtUp(t, p, r)
+	driver.SetCheckBackend(tpcc.LocalBackend(r.db))
+	if err := driver.Check(); err != nil {
+		t.Fatalf("consistency check through the replica: %v", err)
+	}
+}

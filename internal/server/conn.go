@@ -82,6 +82,12 @@ func (c *conn) serve() {
 		if hook := c.srv.cfg.testHookRequest; hook != nil {
 			hook(op)
 		}
+		if op == wire.OpReplStream {
+			// Hijack: the stream handler owns the socket until it returns,
+			// then the connection closes (cleanup releases the session).
+			c.serveReplStream(body)
+			return
+		}
 		start := time.Now()
 		status, resp := c.dispatch(op, body)
 		c.srv.requests.Inc()
@@ -101,6 +107,45 @@ func (c *conn) serve() {
 		if op == wire.OpHello && !c.authed {
 			return // failed handshake: one error frame, then hang up
 		}
+	}
+}
+
+// serveReplStream handles an OpReplStream request. Refusals (no handler,
+// unauthenticated, malformed request) answer with a normal error frame and
+// end the connection; otherwise deadlines are cleared and the replication
+// handler drives the socket until the stream ends.
+func (c *conn) serveReplStream(body []byte) {
+	writeErr := func(err error) {
+		status, resp := fail(err)
+		c.srv.requestErrors.Inc()
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+		if n, werr := wire.WriteFrame(c.bw, status, resp); werr == nil {
+			_ = c.bw.Flush()
+			c.srv.bytesOut.Add(int64(n))
+		}
+	}
+	c.srv.requests.Inc()
+	if !c.authed {
+		writeErr(fmt.Errorf("%w: HELLO required", wire.ErrBadRequest))
+		return
+	}
+	h := c.srv.cfg.Repl
+	if h == nil {
+		writeErr(fmt.Errorf("%w: not a replication source", wire.ErrBadRequest))
+		return
+	}
+	r := wire.NewParser(body)
+	req := wire.DecodeReplStreamRequest(r)
+	if err := firstErr(r); err != nil {
+		writeErr(err)
+		return
+	}
+	// The stream manages its own liveness (heartbeats, report deadlines);
+	// the session deadlines would only tear down a healthy idle stream.
+	_ = c.nc.SetReadDeadline(time.Time{})
+	_ = c.nc.SetWriteDeadline(time.Time{})
+	if err := h.ServeStream(c.nc, c.br, c.bw, req, c.srv.Draining); err != nil && !isClosedErr(err) {
+		c.srv.requestErrors.Inc()
 	}
 }
 

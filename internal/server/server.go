@@ -15,6 +15,7 @@
 package server
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -27,6 +28,17 @@ import (
 	"hybridgc/internal/sql"
 	"hybridgc/internal/wire"
 )
+
+// ReplHandler serves a hijacked replication stream. An OpReplStream request
+// takes its connection out of the request/response loop: the handler owns
+// the socket (and the connection's buffered reader/writer, which may hold
+// pipelined bytes) until it returns, after which the connection is closed.
+// draining reports server shutdown; the handler must end the stream promptly
+// once it turns true. The interface keeps the dependency one-way: the
+// replication source implements it, the server never imports it.
+type ReplHandler interface {
+	ServeStream(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, req wire.ReplStreamRequest, draining func() bool) error
+}
 
 // Config tunes a Server.
 type Config struct {
@@ -47,6 +59,13 @@ type Config struct {
 	// LatencyReservoir sizes the request-latency histogram's bounded
 	// reservoir (<=0 selects metrics.DefaultHistogramCap).
 	LatencyReservoir int
+
+	// Repl, when set, accepts OpReplStream requests (a primary serving
+	// replicas). Nil servers reject the opcode.
+	Repl ReplHandler
+	// StatsHook, when set, runs over every assembled STATS payload —
+	// replication components use it to splice in their counters.
+	StatsHook func(*wire.Stats)
 
 	// testHookRequest, when set by tests, runs after a request frame is
 	// decoded and before it is executed — the seam drain tests use to hold a
@@ -282,6 +301,9 @@ func (s *Server) Stats() wire.Stats {
 		out.PressureBackpressured = p.Backpressured
 		out.PressureRejected = p.Rejected
 		out.PressureEvicted = p.Evicted
+	}
+	if hook := s.cfg.StatsHook; hook != nil {
+		hook(&out)
 	}
 	return out
 }

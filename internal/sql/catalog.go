@@ -83,7 +83,9 @@ type Catalog struct {
 }
 
 // NewCatalog builds (or re-attaches, after recovery) the SQL catalog over a
-// database.
+// database. On a read-only replica the meta table cannot be created locally;
+// it arrives through replication, so attachment is deferred until Refresh
+// (or a Table miss) finds it.
 func NewCatalog(db *core.DB) (*Catalog, error) {
 	c := &Catalog{db: db, tables: make(map[string]*TableInfo)}
 	if id := db.TableID(metaTable); id != 0 {
@@ -93,12 +95,49 @@ func NewCatalog(db *core.DB) (*Catalog, error) {
 		}
 		return c, nil
 	}
+	if db.ReadOnly() {
+		return c, nil // metaID 0: attach lazily once replicated
+	}
 	id, err := db.CreateTable(metaTable)
 	if err != nil {
 		return nil, err
 	}
 	c.metaID = id
 	return c, nil
+}
+
+// Refresh re-reads the meta table, picking up schemas that arrived since the
+// catalog was built — the normal path on a replica, where both the meta
+// table and its rows materialize through the replication stream. Known
+// tables are kept (their index state lives on the TableInfo).
+func (c *Catalog) Refresh() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.metaID == 0 {
+		id := c.db.TableID(metaTable)
+		if id == 0 {
+			return nil // nothing replicated yet
+		}
+		c.metaID = id
+	}
+	return c.db.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+		return tx.Scan(c.metaID, func(_ ts.RID, img []byte) bool {
+			name, cols, err := decodeSchema(img)
+			if err != nil {
+				return true
+			}
+			key := strings.ToLower(name)
+			if _, known := c.tables[key]; known {
+				return true
+			}
+			id := c.db.TableID(name)
+			if id == 0 {
+				return true
+			}
+			c.tables[key] = newTableInfo(name, id, cols)
+			return true
+		})
+	})
 }
 
 // loadSchemas re-attaches schemas after recovery.
@@ -160,12 +199,26 @@ func (c *Catalog) CreateTable(name string, cols []ColumnDef) (*TableInfo, error)
 	return ti, nil
 }
 
-// Table resolves a SQL table by name.
+// Table resolves a SQL table by name. On a read-only database a miss
+// triggers a Refresh first: the schema may have replicated in since the
+// last lookup.
 func (c *Catalog) Table(name string) (*TableInfo, error) {
+	key := strings.ToLower(name)
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if t, ok := c.tables[strings.ToLower(name)]; ok {
+	t, ok := c.tables[key]
+	c.mu.RUnlock()
+	if ok {
 		return t, nil
+	}
+	if c.db.ReadOnly() {
+		if err := c.Refresh(); err == nil {
+			c.mu.RLock()
+			t, ok = c.tables[key]
+			c.mu.RUnlock()
+			if ok {
+				return t, nil
+			}
+		}
 	}
 	return nil, fmt.Errorf("%w: %s", ErrUnknownTable, name)
 }

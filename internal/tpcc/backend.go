@@ -63,6 +63,21 @@ func (b remoteBackend) TableIDs(names ...string) ([]ts.TableID, error) {
 }
 func (b remoteBackend) Begin(snapshot bool) (Txn, error) { return b.c.Begin(snapshot) }
 
+// SetCheckBackend routes the consistency check (Check) through a different
+// backend than the workload — typically a read-only replica endpoint, so the
+// check leg validates replicated state while writes keep going to the
+// primary. Table IDs are identical on both ends: replication ships DDL with
+// primary-assigned IDs. Nil restores the workload backend.
+func (d *Driver) SetCheckBackend(be Backend) { d.checkBE = be }
+
+// checkBackend is the backend Check reads from.
+func (d *Driver) checkBackend() Backend {
+	if d.checkBE != nil {
+		return d.checkBE
+	}
+	return d.be
+}
+
 // exec runs fn inside one transaction on the backend, committing on success
 // and aborting on error or panic — the backend-agnostic form of
 // core.DB.Exec.

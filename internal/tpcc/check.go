@@ -18,7 +18,7 @@ import (
 //   - C5: C_BALANCE + C_YTD_PAYMENT = Σ OL_AMOUNT of the customer's
 //     delivered orders (with the loader's initial values folded in).
 func (d *Driver) Check() error {
-	tx, err := d.be.Begin(true)
+	tx, err := d.checkBackend().Begin(true)
 	if err != nil {
 		return err
 	}

@@ -102,9 +102,12 @@ type Driver struct {
 	// backend is remote.
 	DB  *core.DB
 	be  Backend
-	cfg Config
-	t   tables
-	nu  nuRandC
+	// checkBE, when set, is where Check reads — a read-only replica
+	// endpoint, for validating replicated state (see SetCheckBackend).
+	checkBE Backend
+	cfg     Config
+	t       tables
+	nu      nuRandC
 
 	// dist[w-1][d-1] is the state of district d of warehouse w.
 	dist [][]*districtState

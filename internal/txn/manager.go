@@ -427,6 +427,33 @@ func (m *Manager) Barrier() error {
 // any transaction runs.
 func (m *Manager) SetCommitTS(c ts.CID) { m.commitTS.Store(uint64(c)) }
 
+// PublishReplicated publishes one already-durable commit group at its
+// original, primary-assigned CID — the replica apply path. It mirrors the
+// group committer's publication sequence (assign the CID on the group, then
+// advance the commit timestamp, then link the group) minus logging, batching
+// and conflict handling: the primary already did all three, and the WAL
+// stream delivers groups serially in CID order. Calls must be serial with
+// strictly ascending CIDs; a CID at or below the current timestamp is a
+// protocol error (the applier deduplicates before calling).
+func (m *Manager) PublishReplicated(cid ts.CID, tc *mvcc.TransContext) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	if cur := ts.CID(m.commitTS.Load()); cid <= cur {
+		return fmt.Errorf("txn: replicated CID %d not above current %d", cid, cur)
+	}
+	gcc := mvcc.NewGroup([]*mvcc.TransContext{tc})
+	gcc.AssignCID(cid)
+	m.commitTS.Store(uint64(cid))
+	m.space.Groups.Append(gcc)
+	m.groupsCommitted.Add(1)
+	m.txnsCommitted.Add(1)
+	// Propagation is synchronous: the applier is one goroutine and the next
+	// record may depend on the chain state this group produced.
+	m.propagated.Add(int64(gcc.Propagate()))
+	return nil
+}
+
 // failPending drains and fails requests still queued at shutdown.
 func (m *Manager) failPending() {
 	for {

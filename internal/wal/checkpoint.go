@@ -129,6 +129,14 @@ func ReadCheckpoint(dir string) (*Checkpoint, error) {
 	return decodeCheckpoint(body)
 }
 
+// EncodeCheckpoint serializes a checkpoint body (no header, no checksum) —
+// the form a replication bootstrap ships over the wire, where the transport
+// frame already carries integrity.
+func EncodeCheckpoint(ck *Checkpoint) []byte { return encodeCheckpoint(ck) }
+
+// DecodeCheckpoint is the inverse of EncodeCheckpoint.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) { return decodeCheckpoint(b) }
+
 func encodeCheckpoint(ck *Checkpoint) []byte {
 	var b []byte
 	b = appendU64(b, uint64(ck.CID))

@@ -47,6 +47,65 @@ const (
 	checkpointName = "checkpoint.ckpt"
 )
 
+// LSN identifies one log record's position: the segment sequence number in
+// the high 32 bits and the record's index within that segment in the low 32.
+// LSNs are totally ordered and strictly increase across Append and Rotate,
+// so they serve as the replication stream's cursor without any change to the
+// on-disk segment format — both the append path and a segment read derive
+// the same LSN for the same record.
+type LSN uint64
+
+// MakeLSN composes an LSN from a segment sequence and a record index.
+func MakeLSN(seg, idx uint64) LSN { return LSN(seg<<32 | idx&0xffffffff) }
+
+// Segment returns the segment sequence number the LSN points into.
+func (l LSN) Segment() uint64 { return uint64(l) >> 32 }
+
+// Index returns the record index within the segment.
+func (l LSN) Index() uint64 { return uint64(l) & 0xffffffff }
+
+func (l LSN) String() string { return fmt.Sprintf("%d/%d", l.Segment(), l.Index()) }
+
+// Appended is one record as the append path saw it: the LSN it was assigned
+// and its encoded (unframed) payload. This is exactly what a replication
+// stream ships, so subscribers never re-encode.
+type Appended struct {
+	LSN     LSN
+	Payload []byte
+}
+
+// Subscription delivers every record appended after the subscription was
+// taken, in order, on a bounded channel. If the subscriber falls behind and
+// the buffer fills, the subscription is cancelled by the appender (the
+// channel is closed and Overflowed reports true) — a replication stream then
+// tears down and the replica reconnects from its applied LSN, rather than
+// the WAL blocking commits on a slow consumer.
+type Subscription struct {
+	l          *Log
+	ch         chan Appended
+	closed     bool // guarded by l.mu
+	overflowed bool // guarded by l.mu
+}
+
+// C is the delivery channel; it is closed on Close or on overflow.
+func (s *Subscription) C() <-chan Appended { return s.ch }
+
+// Overflowed reports whether the appender cancelled the subscription because
+// the buffer filled.
+func (s *Subscription) Overflowed() bool {
+	s.l.mu.Lock()
+	defer s.l.mu.Unlock()
+	return s.overflowed
+}
+
+// Close cancels the subscription. Safe to call more than once, and safe
+// concurrently with Append.
+func (s *Subscription) Close() {
+	s.l.mu.Lock()
+	defer s.l.mu.Unlock()
+	s.l.dropSubLocked(s)
+}
+
 // Options configures a Log.
 type Options struct {
 	// Dir is the persistency directory.
@@ -69,10 +128,12 @@ type Log struct {
 
 	mu      sync.Mutex
 	seq     uint64
+	recs    uint64 // records appended to the current segment
 	f       *os.File
 	w       *bufio.Writer
 	size    int64
 	failErr error
+	subs    map[*Subscription]struct{}
 }
 
 // ErrLogFailed reports an append on a log that already failed an I/O
@@ -113,7 +174,57 @@ func (l *Log) openSegmentLocked() error {
 	l.f = f
 	l.w = bufio.NewWriterSize(f, 1<<16)
 	l.size = 0
+	l.recs = 0
 	return nil
+}
+
+// NextLSN returns the LSN the next Append will assign. On a replica this is
+// the "applied LSN" once every received record has been replayed; on the
+// primary it is the stream head replicas chase.
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return MakeLSN(l.seq, l.recs)
+}
+
+// Subscribe registers a live tail over subsequent appends with the given
+// channel capacity (<=0 selects 4096). The caller must drain C() promptly;
+// see Subscription for the overflow contract.
+func (l *Log) Subscribe(buf int) *Subscription {
+	if buf <= 0 {
+		buf = 4096
+	}
+	s := &Subscription{l: l, ch: make(chan Appended, buf)}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.subs == nil {
+		l.subs = make(map[*Subscription]struct{})
+	}
+	l.subs[s] = struct{}{}
+	return s
+}
+
+// dropSubLocked removes and closes a subscription; idempotent.
+func (l *Log) dropSubLocked(s *Subscription) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(l.subs, s)
+	close(s.ch)
+}
+
+// publishLocked hands one appended record to every subscriber without ever
+// blocking the append path: a subscriber whose buffer is full is cancelled.
+func (l *Log) publishLocked(a Appended) {
+	for s := range l.subs {
+		select {
+		case s.ch <- a:
+		default:
+			s.overflowed = true
+			l.dropSubLocked(s)
+		}
+	}
 }
 
 // failLocked latches the first I/O error; the log refuses all writes after.
@@ -146,7 +257,8 @@ func (l *Log) Append(r *Record) error {
 	if err := fault.Hit(FPAppend); err != nil {
 		return l.failLocked(err)
 	}
-	framed := Frame(r.EncodePayload())
+	payload := r.EncodePayload()
+	framed := Frame(payload)
 	if err := fault.Hit(FPAppendTorn); err != nil {
 		// Simulate a torn write: the first half of the frame reaches the OS,
 		// then the device dies. Recovery must stop replay at the torn frame.
@@ -170,6 +282,9 @@ func (l *Log) Append(r *Record) error {
 			return l.failLocked(err)
 		}
 	}
+	lsn := MakeLSN(l.seq, l.recs)
+	l.recs++
+	l.publishLocked(Appended{LSN: lsn, Payload: payload})
 	return nil
 }
 
@@ -218,6 +333,9 @@ func (l *Log) Close() error {
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return nil
+	}
+	for s := range l.subs {
+		l.dropSubLocked(s)
 	}
 	if l.failErr == nil {
 		if err := l.w.Flush(); err != nil {
@@ -284,60 +402,106 @@ func RemoveSegmentsThrough(dir string, through uint64) error {
 	return nil
 }
 
-// ErrCorrupt marks a record that failed its checksum or framing; replay
-// treats it as the end of the usable log (a torn tail write).
+// ErrCorrupt marks a record that failed its checksum or framing somewhere a
+// torn tail write cannot explain: mid-segment, or at the tail of any segment
+// that is not the last. A truncated final entry at the very end of a segment
+// is the expected residue of a crash (or of tailing a live append) and is
+// tolerated silently; anything else means the log is damaged and replaying
+// past it would silently drop acknowledged commits.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
-// ReadSegment streams the records of one segment file, calling fn for each.
-// A torn or corrupt tail ends the iteration without error — exactly the
-// crash-recovery contract — but corruption in the middle of a segment is
-// still surfaced through fn's record count by the caller.
-func ReadSegment(path string, fn func(*Record) error) error {
+// readFrames streams one segment's frames as (index, payload) pairs. It
+// returns torn=true when iteration stopped at a truncated or checksum-failed
+// record that sits at the very end of the file — the torn-tail case. A bad
+// checksum with more log behind it is mid-segment corruption and returns
+// ErrCorrupt.
+func readFrames(path string, fn func(idx uint64, payload []byte) error) (torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	var head [8]byte
-	for {
+	for idx := uint64(0); ; idx++ {
 		if _, err := io.ReadFull(r, head[:]); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil // clean end or torn frame header
+			if err == io.EOF {
+				return false, nil // clean end
 			}
-			return err
+			if err == io.ErrUnexpectedEOF {
+				return true, nil // torn frame header at the tail
+			}
+			return false, err
 		}
 		length := binary.LittleEndian.Uint32(head[0:4])
 		sum := binary.LittleEndian.Uint32(head[4:8])
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil // torn payload at the tail
+				return true, nil // torn payload at the tail
 			}
-			return err
+			return false, err
 		}
 		if crc32.Checksum(payload, crcTable) != sum {
-			return nil // torn/corrupt tail: stop replay here
+			// A checksum failure is only a tolerable torn tail if nothing
+			// follows it; probe one byte to find out.
+			if _, err := r.ReadByte(); err == io.EOF {
+				return true, nil
+			}
+			return false, fmt.Errorf("%w: checksum mismatch at record %d of %s", ErrCorrupt, idx, filepath.Base(path))
 		}
-		rec, err := DecodePayload(payload)
-		if err != nil {
-			return fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		if err := fn(rec); err != nil {
-			return err
+		if err := fn(idx, payload); err != nil {
+			return false, err
 		}
 	}
 }
 
-// ReadAll streams every record of every segment in dir, in order.
+// ReadSegment streams the records of one segment file, calling fn for each.
+// A torn tail — a truncated or checksum-failed final entry — ends the
+// iteration without error, exactly the crash-recovery contract; corruption
+// in the middle of the segment returns ErrCorrupt.
+func ReadSegment(path string, fn func(*Record) error) error {
+	_, err := readFrames(path, func(_ uint64, payload []byte) error {
+		rec, derr := DecodePayload(payload)
+		if derr != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, derr)
+		}
+		return fn(rec)
+	})
+	return err
+}
+
+// ReadSegmentPayloads streams one segment's raw encoded payloads with their
+// in-segment record indexes — the replication catch-up path, which ships
+// payloads to replicas without decoding them. Torn-tail semantics match
+// ReadSegment.
+func ReadSegmentPayloads(path string, fn func(idx uint64, payload []byte) error) error {
+	_, err := readFrames(path, fn)
+	return err
+}
+
+// ReadAll streams every record of every segment in dir, in order. A torn
+// tail is tolerated only on the final segment: rotation closes a segment
+// cleanly, so a truncated entry inside any earlier segment means damage, not
+// a crash, and returns ErrCorrupt.
 func ReadAll(dir string, fn func(*Record) error) error {
 	segs, err := Segments(dir)
 	if err != nil {
 		return err
 	}
-	for _, s := range segs {
-		if err := ReadSegment(s.Path, fn); err != nil {
+	for i, s := range segs {
+		torn, err := readFrames(s.Path, func(_ uint64, payload []byte) error {
+			rec, derr := DecodePayload(payload)
+			if derr != nil {
+				return fmt.Errorf("%w: %v", ErrCorrupt, derr)
+			}
+			return fn(rec)
+		})
+		if err != nil {
 			return err
+		}
+		if torn && i != len(segs)-1 {
+			return fmt.Errorf("%w: torn record inside non-final segment %s", ErrCorrupt, filepath.Base(s.Path))
 		}
 	}
 	return nil

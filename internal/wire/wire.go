@@ -55,6 +55,11 @@ const (
 	OpUpdate
 	OpDelete
 	OpScan
+	// OpReplStream hijacks the connection into a full-duplex replication
+	// stream: after the server's StOK acceptance, the request/response
+	// discipline ends — the primary pushes Rm* messages (see repl.go) and
+	// the replica writes RmReport frames back on the same connection.
+	OpReplStream
 )
 
 // Response statuses.
@@ -83,6 +88,9 @@ const (
 	ECodeDraining
 	ECodeTooManyConns
 	ECodeAuth
+	ECodeReadOnly
+	ECodeReplTooOld
+	ECodeReplDemoted
 )
 
 // Protocol-level sentinels (the engine ones live in internal/core).
@@ -99,6 +107,13 @@ var (
 	// errors without importing the SQL layer into the protocol.
 	ErrNoTransaction = errors.New("wire: no transaction in progress")
 	ErrInTransaction = errors.New("wire: transaction already in progress")
+	// ErrReplTooOld reports a replica resuming from an LSN whose segments
+	// the primary no longer retains; the replica must re-bootstrap.
+	ErrReplTooOld = errors.New("wire: replication stream position no longer retained")
+	// ErrReplDemoted reports a replica the primary demoted for exceeding the
+	// lag bound: its horizon pin and segment-retention floor were dropped,
+	// and it must re-bootstrap from a fresh checkpoint.
+	ErrReplDemoted = errors.New("wire: replica demoted for exceeding the lag bound")
 )
 
 // codeTable pairs each non-generic code with its sentinel, in both
@@ -121,6 +136,9 @@ var codeTable = []struct {
 	{ECodeAuth, ErrAuth},
 	{ECodeNoTransaction, ErrNoTransaction},
 	{ECodeInTransaction, ErrInTransaction},
+	{ECodeReadOnly, core.ErrReadOnly},
+	{ECodeReplTooOld, ErrReplTooOld},
+	{ECodeReplDemoted, ErrReplDemoted},
 }
 
 // ErrorCode maps an error to its wire code (ECodeGeneric when unknown).
@@ -493,6 +511,43 @@ type Stats struct {
 	LatP50        time.Duration
 	LatP95        time.Duration
 	LatP99        time.Duration
+
+	// Replication (PR 3). Role is "" when replication is not configured,
+	// "primary" on a stream source, "replica" on an applier.
+	ReplRole string
+	// ReplUpstream is the primary's address (replica side).
+	ReplUpstream string
+	// ReplAppliedLSN is the next LSN the applier expects (replica side).
+	ReplAppliedLSN uint64
+	// ReplPrimaryLSN is the stream head: the primary's next append LSN
+	// (primary side), or the last heartbeat value seen (replica side).
+	ReplPrimaryLSN uint64
+	// ReplRecordsSent / ReplRecordsApplied count stream records by role.
+	ReplRecordsSent    int64
+	ReplRecordsApplied int64
+	// ReplReconnects counts replica-side stream re-establishments.
+	ReplReconnects int64
+	// ReplDemotions counts replicas demoted for exceeding the lag bound.
+	ReplDemotions int64
+	// Replicas is the primary's per-replica view.
+	Replicas []ReplicaStat
+}
+
+// ReplicaStat is one replica's state as the primary tracks it.
+type ReplicaStat struct {
+	ID         string
+	Connected  bool
+	Demoted    bool
+	AppliedLSN uint64
+	// PinnedSTS is the snapshot timestamp this replica pins in the cluster
+	// GC horizon (0 = no pin: no open snapshots reported).
+	PinnedSTS ts.CID
+	// FloorSegment is the lowest log segment retained for this replica.
+	FloorSegment uint64
+	// SegmentLag is the primary's active segment minus FloorSegment.
+	SegmentLag int64
+	// LastReportAge is the time since the replica's last report.
+	LastReportAge time.Duration
 }
 
 // Encode appends the stats payload.
@@ -509,6 +564,16 @@ func (s *Stats) Encode(w *Builder) {
 	w.I64(s.Conns).I64(s.ConnsTotal).I64(s.Requests).I64(s.RequestErrors)
 	w.I64(s.BytesIn).I64(s.BytesOut).I64(s.CursorsOpen).I64(s.CursorsReaped)
 	w.I64(int64(s.LatMean)).I64(int64(s.LatP50)).I64(int64(s.LatP95)).I64(int64(s.LatP99))
+	w.Str(s.ReplRole).Str(s.ReplUpstream)
+	w.U64(s.ReplAppliedLSN).U64(s.ReplPrimaryLSN)
+	w.I64(s.ReplRecordsSent).I64(s.ReplRecordsApplied)
+	w.I64(s.ReplReconnects).I64(s.ReplDemotions)
+	w.U16(uint16(len(s.Replicas)))
+	for _, rs := range s.Replicas {
+		w.Str(rs.ID).Bool(rs.Connected).Bool(rs.Demoted)
+		w.U64(rs.AppliedLSN).U64(uint64(rs.PinnedSTS)).U64(rs.FloorSegment)
+		w.I64(rs.SegmentLag).I64(int64(rs.LastReportAge))
+	}
 }
 
 // DecodeStats reads a stats payload.
@@ -527,5 +592,17 @@ func DecodeStats(r *Parser) Stats {
 	s.BytesIn, s.BytesOut, s.CursorsOpen, s.CursorsReaped = r.I64(), r.I64(), r.I64(), r.I64()
 	s.LatMean, s.LatP50 = time.Duration(r.I64()), time.Duration(r.I64())
 	s.LatP95, s.LatP99 = time.Duration(r.I64()), time.Duration(r.I64())
+	s.ReplRole, s.ReplUpstream = r.Str(), r.Str()
+	s.ReplAppliedLSN, s.ReplPrimaryLSN = r.U64(), r.U64()
+	s.ReplRecordsSent, s.ReplRecordsApplied = r.I64(), r.I64()
+	s.ReplReconnects, s.ReplDemotions = r.I64(), r.I64()
+	n := int(r.U16())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var rs ReplicaStat
+		rs.ID, rs.Connected, rs.Demoted = r.Str(), r.Bool(), r.Bool()
+		rs.AppliedLSN, rs.PinnedSTS, rs.FloorSegment = r.U64(), ts.CID(r.U64()), r.U64()
+		rs.SegmentLag, rs.LastReportAge = r.I64(), time.Duration(r.I64())
+		s.Replicas = append(s.Replicas, rs)
+	}
 	return s
 }

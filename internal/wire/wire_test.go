@@ -1,8 +1,10 @@
 package wire
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -146,6 +148,13 @@ func TestStatsRoundTrip(t *testing.T) {
 		BytesIn: 12345, BytesOut: 54321, CursorsOpen: 2, CursorsReaped: 6,
 		LatMean: time.Millisecond, LatP50: 2 * time.Millisecond,
 		LatP95: 3 * time.Millisecond, LatP99: 4 * time.Millisecond,
+		ReplRole: "primary", ReplUpstream: "", ReplAppliedLSN: 77, ReplPrimaryLSN: 78,
+		ReplRecordsSent: 79, ReplRecordsApplied: 80, ReplReconnects: 2, ReplDemotions: 1,
+		Replicas: []ReplicaStat{
+			{ID: "r1", Connected: true, Demoted: false, AppliedLSN: 4<<32 | 7,
+				PinnedSTS: 42, FloorSegment: 4, SegmentLag: 1, LastReportAge: 250 * time.Millisecond},
+			{ID: "r2", Connected: false, Demoted: true},
+		},
 	}
 	w := &Builder{}
 	in.Encode(w)
@@ -154,7 +163,45 @@ func TestStatsRoundTrip(t *testing.T) {
 	if r.Err() != nil || r.Rest() != 0 {
 		t.Fatalf("err=%v rest=%d", r.Err(), r.Rest())
 	}
-	if out != in {
+	if !reflect.DeepEqual(out, in) {
 		t.Fatalf("stats round trip:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestReplMessageRoundTrips(t *testing.T) {
+	reqIn := ReplStreamRequest{ReplicaID: "r1", StartLSN: 5<<32 | 12}
+	b := &Builder{}
+	reqIn.Encode(b)
+	p := NewParser(b.Take())
+	if reqOut := DecodeReplStreamRequest(p); p.Err() != nil || reqOut != reqIn {
+		t.Fatalf("stream request round trip: err=%v out=%+v", p.Err(), reqOut)
+	}
+
+	repIn := ReplReport{AppliedLSN: 3<<32 | 9, MinSTS: 1234, HasSnapshots: true, OpenSnapshots: 5}
+	b = &Builder{}
+	repIn.Encode(b)
+	p = NewParser(b.Take())
+	if repOut := DecodeReplReport(p); p.Err() != nil || repOut != repIn {
+		t.Fatalf("report round trip: err=%v out=%+v", p.Err(), repOut)
+	}
+}
+
+func TestStreamMsgRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := WriteStreamMsg(bw, RmRecord, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStreamMsg(bw, RmHeartbeat, nil); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&buf)
+	op, body, err := ReadStreamMsg(br)
+	if err != nil || op != RmRecord || string(body) != "payload" {
+		t.Fatalf("msg 1: op=%#x body=%q err=%v", op, body, err)
+	}
+	op, body, err = ReadStreamMsg(br)
+	if err != nil || op != RmHeartbeat || len(body) != 0 {
+		t.Fatalf("msg 2: op=%#x body=%q err=%v", op, body, err)
 	}
 }
