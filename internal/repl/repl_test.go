@@ -573,3 +573,133 @@ func TestTPCCUnderReplicaPinnedCursor(t *testing.T) {
 		t.Fatalf("consistency check through the replica: %v", err)
 	}
 }
+
+// TestRebootstrapRejectsNewerCheckpoint covers the divergence hazard of a
+// replica whose first bootstrap died after installing its checkpoint but
+// before a single record advanced the applied cursor: if the primary has
+// checkpointed since (the commits in between possibly living only in pruned
+// segments), the retried bootstrap ships a *newer* checkpoint, and silently
+// skipping it would lose every commit between the two checkpoint CIDs. The
+// replica must refuse with ErrBootstrapRequired so the operator restarts on
+// an empty engine.
+func TestRebootstrapRejectsNewerCheckpoint(t *testing.T) {
+	p := startPrimary(t, fastSource(), nil)
+	tid := mustCreateTable(t, p.db, "accounts")
+	mustInsert(t, p.db, tid, "early")
+	if err := p.db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ck1, err := wal.ReadCheckpoint(p.db.PersistDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the first attempt: checkpoint installed, stream dead.
+	rdb, err := core.Open(core.Config{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdb.Close()
+	if err := rdb.ApplyCheckpoint(ck1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Meanwhile the primary commits more and checkpoints again; with no
+	// floor registered for this replica, nothing retains the old segments.
+	rid := mustInsert(t, p.db, tid, "belated")
+	if err := p.db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := NewReplica(rdb, ReplicaConfig{
+		Upstream: p.addr, ReplicaID: "zombie",
+		ReportEvery: 10 * time.Millisecond, ReconnectBase: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- rep.Run() }()
+	select {
+	case err := <-runErr:
+		if !errors.Is(err, ErrBootstrapRequired) {
+			t.Fatalf("stale re-bootstrap exited with %v, want ErrBootstrapRequired", err)
+		}
+	case <-time.After(10 * time.Second):
+		rep.Stop()
+		t.Fatal("stale re-bootstrap did not refuse the newer checkpoint")
+	}
+	rep.Stop()
+
+	// The operator path: a fresh engine under the same identity bootstraps
+	// and sees both commits.
+	r2 := startReplica(t, p.addr, "zombie")
+	waitCaughtUp(t, p, r2)
+	if img, ok := readRow(r2.db, tid, rid); !ok || img != "belated" {
+		t.Fatalf("post-rebuild row: %q ok=%v", img, ok)
+	}
+}
+
+// TestBootstrapJoinsMaturePrimaryDespiteLagBound: a fresh replica joining a
+// primary whose active segment is already far past MaxSegmentLag starts with
+// a bootstrap floor of 0; the lag bound must stay out of the picture while
+// the initial catch-up is still being applied, or the replica can never join
+// (demote → re-bootstrap → demote, forever).
+func TestBootstrapJoinsMaturePrimaryDespiteLagBound(t *testing.T) {
+	scfg := fastSource()
+	scfg.MaxSegmentLag = 1
+	p := startPrimary(t, scfg, nil)
+	tid := mustCreateTable(t, p.db, "accounts")
+	var rids []ts.RID
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 3; i++ {
+			rids = append(rids, mustInsert(t, p.db, tid, fmt.Sprintf("seg%d-row%d", s, i)))
+		}
+		if _, err := p.db.WAL().Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Slow the applier so the catch-up apply spans many heartbeat ticks —
+	// plenty of chances for an over-eager lag check to demote the joiner.
+	fault.Enable(FPApplyStall, fault.Sleep(20*time.Millisecond))
+	t.Cleanup(func() { fault.Disable(FPApplyStall) })
+
+	r := startReplica(t, p.addr, "joiner")
+	waitCaughtUp(t, p, r)
+	fault.Disable(FPApplyStall)
+	if n := p.src.demotions.Load(); n != 0 {
+		t.Fatalf("joining replica was demoted %d times", n)
+	}
+	for i, rid := range rids {
+		if img, ok := readRow(r.db, tid, rid); !ok || img == "" {
+			t.Fatalf("row %d missing after join: ok=%v", i, ok)
+		}
+	}
+}
+
+// TestDrainDuringCatchUpEndsPromptly: server shutdown must not wait for a
+// slow segment catch-up to finish shipping — the stream checks the drain
+// flag per record and ends with RmEnd(Drain) mid-catch-up.
+func TestDrainDuringCatchUpEndsPromptly(t *testing.T) {
+	p := startPrimary(t, fastSource(), nil)
+	tid := mustCreateTable(t, p.db, "accounts")
+	for i := 0; i < 300; i++ {
+		mustInsert(t, p.db, tid, fmt.Sprintf("row-%d", i))
+	}
+
+	// Throttle catch-up to ~10ms per record: the full sweep would take ~3s.
+	fault.Enable(FPPartialSegment, fault.Sleep(10*time.Millisecond))
+	t.Cleanup(func() { fault.Disable(FPPartialSegment) })
+
+	r := startReplica(t, p.addr, "slowpoke")
+	waitFor(t, 5*time.Second, "catch-up to start", func() bool {
+		return p.src.recordsSent.Load() >= 10
+	})
+	start := time.Now()
+	p.srv.Shutdown(10 * time.Second)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shutdown during catch-up took %v", elapsed)
+	}
+	r.shutdown()
+}

@@ -240,14 +240,23 @@ func (r *Replica) streamOnce() error {
 				return err
 			}
 			if err := r.db.ApplyCheckpoint(ck); err != nil {
-				// A previous attempt may have died after installing its
-				// checkpoint but before any record advanced the cursor, so
-				// this retry asked for a full bootstrap again. Skipping the
-				// duplicate is safe: the bootstrap floor has kept every
-				// segment since the first attempt retained, and the catch-up
-				// records CID-dedupe against the state already applied.
-				if !errors.Is(err, core.ErrNotEmpty) || r.db.Manager().CurrentTS() == 0 {
+				if !errors.Is(err, core.ErrNotEmpty) {
 					return fmt.Errorf("repl: applying bootstrap checkpoint: %w", err)
+				}
+				// A previous attempt died after installing its checkpoint but
+				// before any record advanced the cursor, so this retry asked
+				// for a full bootstrap again. The duplicate is only safe to
+				// skip when it is the *same* checkpoint — CID equal to the
+				// engine's commit timestamp — because catch-up records then
+				// CID-dedupe against the state already applied. A different
+				// CID means the primary checkpointed since the first attempt
+				// (for instance after this replica was demoted while away and
+				// its segment floor dropped): the commits between the two
+				// checkpoints may live only in pruned segments, so skipping
+				// would silently diverge. Rebuild from an empty engine.
+				if cur := r.db.Manager().CurrentTS(); ck.CID != cur {
+					return fmt.Errorf("%w: bootstrap checkpoint CID %d does not match engine state %d",
+						ErrBootstrapRequired, ck.CID, cur)
 				}
 			}
 		case wire.RmRecord:

@@ -320,7 +320,10 @@ func (s *Source) ServeStream(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, re
 	}
 
 	// Catch-up: ship retained segments from the cursor. Records the
-	// checkpoint already covers are skipped CID-wise by the applier.
+	// checkpoint already covers are skipped CID-wise by the applier. The
+	// drain flag is checked per record: a long catch-up throttled by a slow
+	// replica's TCP backpressure must end promptly on server shutdown, not
+	// when a per-message write deadline eventually fires.
 	lastSent, sentAny := wal.LSN(0), false
 	for _, seg := range segs {
 		if seg.Seq < startSeg {
@@ -331,6 +334,9 @@ func (s *Source) ServeStream(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, re
 			if uint64(lsn) < req.StartLSN {
 				return nil
 			}
+			if draining() {
+				return errDrainedCatchup
+			}
 			if err := fault.Hit(FPPartialSegment); err != nil {
 				return err
 			}
@@ -340,10 +346,20 @@ func (s *Source) ServeStream(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, re
 			lastSent, sentAny = lsn, true
 			return nil
 		})
+		if errors.Is(err, errDrainedCatchup) {
+			_ = s.send(nc, bw, wire.RmEnd, endBody(wire.EndDrain, "primary draining"))
+			return nil
+		}
 		if err != nil {
 			return err
 		}
 	}
+
+	// The initial catch-up ends here; until the replica has applied
+	// everything it shipped, the lag bound stays out of the picture (see
+	// lagging). The live tail below keeps extending lastSent, so the
+	// catch-up horizon is captured now.
+	catchupEnd, catchupSent := lastSent, sentAny
 
 	// Live tail.
 	hb := time.NewTicker(s.cfg.HeartbeatEvery)
@@ -374,7 +390,7 @@ func (s *Source) ServeStream(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, re
 				return err
 			}
 			s.refreshFloor(st, lastSent, sentAny)
-			if s.lagging(st) {
+			if s.lagging(st, catchupEnd, catchupSent) {
 				s.mu.Lock()
 				s.demoteLocked(st)
 				s.mu.Unlock()
@@ -425,13 +441,27 @@ func (s *Source) refreshFloor(st *replicaState, lastSent wal.LSN, sentAny bool) 
 	}
 }
 
+// errDrainedCatchup aborts the segment catch-up iteration when server drain
+// begins; ServeStream turns it into a clean RmEnd(Drain).
+var errDrainedCatchup = errors.New("repl: drain during catch-up")
+
 // lagging applies the lag bound to a connected replica: how many segments
-// its floor trails the primary's active segment.
-func (s *Source) lagging(st *replicaState) bool {
+// its floor trails the primary's active segment. A stream still working
+// through its initial catch-up is exempt — during a bootstrap the floor
+// starts at 0 (and on a resume, at the reconnect segment), so on a mature
+// primary the raw distance to the active segment exceeds any bound before
+// the replica has had a chance to apply a single record, and demoting it
+// there would only send it back into another bootstrap, forever. The bound
+// engages once the replica's applied cursor passes the last record catch-up
+// shipped (immediately, when catch-up shipped nothing).
+func (s *Source) lagging(st *replicaState, catchupEnd wal.LSN, catchupSent bool) bool {
 	active := s.log.NextLSN().Segment()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !st.hasFloor {
+		return false
+	}
+	if catchupSent && st.applied <= catchupEnd {
 		return false
 	}
 	return active > st.floor && active-st.floor > uint64(s.cfg.MaxSegmentLag)

@@ -421,7 +421,21 @@ func readFrames(path string, fn func(idx uint64, payload []byte) error) (torn bo
 		return false, err
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<16)
+	// Reads are bounded to the file size observed at open. The active
+	// segment may be receiving concurrent appends (replication catch-up
+	// tails it), and a frame only partially flushed at open time would fail
+	// its checksum; if the appender then completed it before the torn-tail
+	// probe below ran, the probe would see trailing bytes and misreport the
+	// benign in-flight tail as mid-segment corruption. The appender writes
+	// frames under one lock to an O_APPEND file, so every byte below the
+	// observed size belongs to writes that completed before the snapshot —
+	// a frame cut short by the bound is exactly a torn tail, and a checksum
+	// failure strictly inside it is genuine damage.
+	fi, err := f.Stat()
+	if err != nil {
+		return false, err
+	}
+	r := bufio.NewReaderSize(io.LimitReader(f, fi.Size()), 1<<16)
 	var head [8]byte
 	for idx := uint64(0); ; idx++ {
 		if _, err := io.ReadFull(r, head[:]); err != nil {

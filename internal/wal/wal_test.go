@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"hybridgc/internal/mvcc"
 	"hybridgc/internal/ts"
@@ -300,5 +301,69 @@ func TestConcurrentAppends(t *testing.T) {
 	}
 	if n != writers*perWriter {
 		t.Fatalf("replayed %d records, want %d", n, writers*perWriter)
+	}
+}
+
+// TestReadSegmentConcurrentWithAppend covers the replication catch-up path
+// reading the active segment while the appender keeps writing: reads are
+// bounded to the file size observed at open, so an in-flight frame surfaces
+// as a (tolerated) torn tail, never as ErrCorrupt — even when the appender
+// finishes the frame between the reader's checksum and its tail probe.
+func TestReadSegmentConcurrentWithAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	stop := make(chan struct{})
+	appErr := make(chan error, 1)
+	go func() {
+		defer close(appErr)
+		// Mix small frames with ones larger than the writer's buffer so a
+		// flush spans several write calls — the widest window for a reader
+		// to observe a partially visible frame.
+		big := bytes.Repeat([]byte("x"), 96<<10)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			payload := []byte("small")
+			if i%40 == 0 {
+				payload = big
+			}
+			rec := &Record{Kind: KindGroup, CID: ts.CID(i + 1), Ops: []Op{
+				{Op: mvcc.OpUpdate, Table: 1, RID: ts.RID(i), Payload: payload},
+			}}
+			if err := l.Append(rec); err != nil {
+				appErr <- err
+				return
+			}
+		}
+	}()
+
+	segs, err := Segments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v (%d)", err, len(segs))
+	}
+	path := segs[len(segs)-1].Path
+	deadline := time.Now().Add(300 * time.Millisecond)
+	reads := 0
+	for time.Now().Before(deadline) {
+		err := ReadSegmentPayloads(path, func(uint64, []byte) error { return nil })
+		if err != nil {
+			t.Fatalf("concurrent segment read: %v", err)
+		}
+		reads++
+	}
+	close(stop)
+	if err := <-appErr; err != nil {
+		t.Fatal(err)
+	}
+	if reads == 0 {
+		t.Fatal("reader never completed a pass")
 	}
 }
