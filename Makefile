@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race check bench bench-json bench-smoke clean
 
 all: check
 
@@ -14,15 +14,26 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages (group commit, GC, version
-# space, pressure controller, the network service layer, and replication)
-# with -short to keep CI latency sane.
+# space, pressure controller, the network service layer, replication, the
+# lock-free hash table, and the WAL/wire hot paths) with -short to keep CI
+# latency sane.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/txn/... ./internal/gc/... ./internal/mvcc/... ./internal/sql/... ./internal/server/... ./internal/client/... ./internal/repl/...
+	$(GO) test -race -short ./internal/core/... ./internal/txn/... ./internal/gc/... ./internal/mvcc/... ./internal/sql/... ./internal/server/... ./internal/client/... ./internal/repl/... ./internal/wal/... ./internal/wire/...
 
 check: vet build test race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# Regenerate the benchmark baseline: the paper-figure suite plus the hot-path
+# micro-benchmarks, written to BENCH_<date>.json (see cmd/benchjson).
+bench-json:
+	$(GO) run ./cmd/benchjson
+
+# CI smoke: one iteration of every hot-path micro-benchmark, so bench code
+# cannot rot without failing the build.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit' -benchtime=1x . ./internal/mvcc ./internal/wire ./internal/wal
 
 clean:
 	$(GO) clean ./...

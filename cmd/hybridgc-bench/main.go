@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hybridgc/internal/bench"
+	"hybridgc/internal/profiling"
 	"hybridgc/internal/tpcc"
 )
 
@@ -32,7 +33,14 @@ func main() {
 		customers  = flag.Int("customers", 0, "TPC-C customers per district (default 30)")
 		seed       = flag.Int64("seed", 7, "workload random seed")
 	)
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+	if err := profiling.Start(prof); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer profiling.Stop()
 
 	cfg := bench.SuiteConfig{
 		Quick:    *quick,
@@ -64,10 +72,12 @@ func main() {
 		rep, err := suite.Run(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			profiling.Stop()
 			os.Exit(1)
 		}
 		if _, err := rep.WriteTo(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			profiling.Stop()
 			os.Exit(1)
 		}
 	}

@@ -39,6 +39,7 @@ import (
 
 	"hybridgc/internal/core"
 	"hybridgc/internal/gc"
+	"hybridgc/internal/profiling"
 	"hybridgc/internal/repl"
 	"hybridgc/internal/server"
 	"hybridgc/internal/workload"
@@ -78,6 +79,8 @@ func main() {
 		replicaID   = flag.String("replica-id", "replica", "stable replica identity reported to the primary")
 		upstreamTok = flag.String("upstream-token", "", "auth token for the primary (replica mode)")
 	)
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	var m workload.Mode
@@ -94,6 +97,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -gc mode %q\n", *mode)
 		os.Exit(2)
 	}
+	if err := profiling.Start(prof); err != nil {
+		fatal(err)
+	}
+	defer profiling.Stop()
 	opts := options{
 		addr: *addr, token: *token, maxConns: *maxConns, idle: *idle,
 		gcMode: m, soft: *soft, hard: *hard,
@@ -281,5 +288,6 @@ func runReplica(opts options, sig <-chan os.Signal) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "hybridgcd:", err)
+	profiling.Stop() // flush -cpuprofile/-memprofile even on the error path
 	os.Exit(1)
 }

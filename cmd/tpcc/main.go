@@ -26,6 +26,7 @@ import (
 	"hybridgc/internal/client"
 	"hybridgc/internal/core"
 	"hybridgc/internal/gc"
+	"hybridgc/internal/profiling"
 	"hybridgc/internal/tpcc"
 	"hybridgc/internal/workload"
 )
@@ -46,6 +47,8 @@ func main() {
 		checkAddr  = flag.String("check-addr", "", "read-only endpoint (e.g. a replica) to run the consistency check against")
 		checkToken = flag.String("check-token", "", "auth token for -check-addr")
 	)
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 	remote := *addr != ""
 
@@ -67,6 +70,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-cursor is local-only; the remote pinned-snapshot scenario is examples/network")
 		os.Exit(2)
 	}
+	if err := profiling.Start(prof); err != nil {
+		fatal(err)
+	}
+	defer profiling.Stop()
 
 	cfg := tpcc.Config{
 		Warehouses:           *warehouses,
@@ -267,5 +274,6 @@ func fmtBytes(n int64) string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tpcc:", err)
+	profiling.Stop() // flush -cpuprofile/-memprofile even on the error path
 	os.Exit(1)
 }

@@ -172,6 +172,14 @@ func (c *Client) do(op byte, body []byte) (*wire.Parser, error) {
 	return r, err
 }
 
+// doB is do with a pooled request builder, released after the write
+// (WriteFrame copies the body out before sending).
+func (c *Client) doB(op byte, b *wire.Builder) (*wire.Parser, error) {
+	r, err := c.do(op, b.Take())
+	wire.PutBuilder(b)
+	return r, err
+}
+
 // Ping round-trips a PING.
 func (c *Client) Ping() error {
 	_, err := c.do(wire.OpPing, nil)
@@ -207,7 +215,7 @@ func decodeResult(r *wire.Parser) (*Result, error) {
 // that change session state (BEGIN/COMMIT/ROLLBACK) must go through Begin —
 // on a pooled connection the session they would affect is arbitrary.
 func (c *Client) Exec(sqlText string) (*Result, error) {
-	r, err := c.do(wire.OpExec, (&wire.Builder{}).Str(sqlText).Take())
+	r, err := c.doB(wire.OpExec, wire.GetBuilder().Str(sqlText))
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +224,7 @@ func (c *Client) Exec(sqlText string) (*Result, error) {
 
 // CreateTable registers a record-level engine table (not a SQL table).
 func (c *Client) CreateTable(name string) (ts.TableID, error) {
-	r, err := c.do(wire.OpCreateTable, (&wire.Builder{}).Str(name).Take())
+	r, err := c.doB(wire.OpCreateTable, wire.GetBuilder().Str(name))
 	if err != nil {
 		return 0, err
 	}
@@ -226,9 +234,9 @@ func (c *Client) CreateTable(name string) (ts.TableID, error) {
 
 // TableIDs resolves engine table names.
 func (c *Client) TableIDs(names ...string) ([]ts.TableID, error) {
-	w := &wire.Builder{}
+	w := wire.GetBuilder()
 	wire.PutStrings(w, names)
-	r, err := c.do(wire.OpTableIDs, w.Take())
+	r, err := c.doB(wire.OpTableIDs, w)
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +255,7 @@ func (c *Client) Begin(transSI bool) (*Tx, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := cn.roundTrip(wire.OpBegin, (&wire.Builder{}).Bool(transSI).Take()); err != nil {
+	if _, err := cn.roundTripB(wire.OpBegin, wire.GetBuilder().Bool(transSI)); err != nil {
 		c.put(cn)
 		return nil, err
 	}
@@ -262,7 +270,7 @@ func (c *Client) Query(sqlText string) (*Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := cn.roundTrip(wire.OpQOpen, (&wire.Builder{}).Str(sqlText).Take())
+	r, err := cn.roundTripB(wire.OpQOpen, wire.GetBuilder().Str(sqlText))
 	if err != nil {
 		c.put(cn)
 		return nil, err
@@ -291,9 +299,16 @@ func (tx *Tx) round(op byte, body []byte) (*wire.Parser, error) {
 	return tx.cn.roundTrip(op, body)
 }
 
+// roundB is round with a pooled request builder, released after the write.
+func (tx *Tx) roundB(op byte, b *wire.Builder) (*wire.Parser, error) {
+	r, err := tx.round(op, b.Take())
+	wire.PutBuilder(b)
+	return r, err
+}
+
 // Exec runs one SQL statement inside the transaction.
 func (tx *Tx) Exec(sqlText string) (*Result, error) {
-	r, err := tx.round(wire.OpExec, (&wire.Builder{}).Str(sqlText).Take())
+	r, err := tx.roundB(wire.OpExec, wire.GetBuilder().Str(sqlText))
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +317,7 @@ func (tx *Tx) Exec(sqlText string) (*Result, error) {
 
 // Get reads one record image.
 func (tx *Tx) Get(tid ts.TableID, rid ts.RID) ([]byte, error) {
-	r, err := tx.round(wire.OpGet, (&wire.Builder{}).U32(uint32(tid)).U64(uint64(rid)).Take())
+	r, err := tx.roundB(wire.OpGet, wire.GetBuilder().U32(uint32(tid)).U64(uint64(rid)))
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +327,7 @@ func (tx *Tx) Get(tid ts.TableID, rid ts.RID) ([]byte, error) {
 
 // Insert creates a record and returns its RID.
 func (tx *Tx) Insert(tid ts.TableID, img []byte) (ts.RID, error) {
-	r, err := tx.round(wire.OpInsert, (&wire.Builder{}).U32(uint32(tid)).Bytes(img).Take())
+	r, err := tx.roundB(wire.OpInsert, wire.GetBuilder().U32(uint32(tid)).Bytes(img))
 	if err != nil {
 		return 0, err
 	}
@@ -322,20 +337,20 @@ func (tx *Tx) Insert(tid ts.TableID, img []byte) (ts.RID, error) {
 
 // Update installs a new image.
 func (tx *Tx) Update(tid ts.TableID, rid ts.RID, img []byte) error {
-	_, err := tx.round(wire.OpUpdate, (&wire.Builder{}).U32(uint32(tid)).U64(uint64(rid)).Bytes(img).Take())
+	_, err := tx.roundB(wire.OpUpdate, wire.GetBuilder().U32(uint32(tid)).U64(uint64(rid)).Bytes(img))
 	return err
 }
 
 // Delete removes a record.
 func (tx *Tx) Delete(tid ts.TableID, rid ts.RID) error {
-	_, err := tx.round(wire.OpDelete, (&wire.Builder{}).U32(uint32(tid)).U64(uint64(rid)).Take())
+	_, err := tx.roundB(wire.OpDelete, wire.GetBuilder().U32(uint32(tid)).U64(uint64(rid)))
 	return err
 }
 
 // Scan visits every visible record of the table in RID order. The whole
 // result crosses the wire in one response.
 func (tx *Tx) Scan(tid ts.TableID, fn func(rid ts.RID, img []byte) bool) error {
-	r, err := tx.round(wire.OpScan, (&wire.Builder{}).U32(uint32(tid)).Take())
+	r, err := tx.roundB(wire.OpScan, wire.GetBuilder().U32(uint32(tid)))
 	if err != nil {
 		return err
 	}
@@ -400,8 +415,7 @@ func (cu *Cursor) Fetch(n int) ([][]wire.Datum, core.FetchStats, error) {
 	if cu.closed {
 		return nil, core.FetchStats{}, core.ErrCursorClosed
 	}
-	body := (&wire.Builder{}).U32(cu.id).U32(uint32(n)).Take()
-	r, err := cu.cn.roundTrip(wire.OpQFetch, body)
+	r, err := cu.cn.roundTripB(wire.OpQFetch, wire.GetBuilder().U32(cu.id).U32(uint32(n)))
 	if err != nil {
 		return nil, core.FetchStats{}, err
 	}
@@ -419,7 +433,7 @@ func (cu *Cursor) Close() error {
 		return nil
 	}
 	cu.closed = true
-	_, err := cu.cn.roundTrip(wire.OpQClose, (&wire.Builder{}).U32(cu.id).Take())
+	_, err := cu.cn.roundTripB(wire.OpQClose, wire.GetBuilder().U32(cu.id))
 	cu.c.put(cu.cn)
 	return err
 }
@@ -462,6 +476,14 @@ func (cn *Conn) roundTrip(op byte, body []byte) (*wire.Parser, error) {
 		return nil, &wire.Error{Code: code, Msg: msg}
 	}
 	return wire.NewParser(resp), nil
+}
+
+// roundTripB is roundTrip with a pooled request builder, released after the
+// write (WriteFrame copies the body out before sending).
+func (cn *Conn) roundTripB(op byte, b *wire.Builder) (*wire.Parser, error) {
+	r, err := cn.roundTrip(op, b.Take())
+	wire.PutBuilder(b)
+	return r, err
 }
 
 // IsTransient reports whether err is worth retrying — the engine's transient

@@ -49,6 +49,7 @@ func (db *DB) ApplyCheckpoint(ck *wal.Checkpoint) error {
 		tbl.EnsureNextRID(t.NextRID)
 	}
 	db.m.SetCommitTS(ck.CID)
+	db.asm.Reset()
 	return nil
 }
 
@@ -110,13 +111,26 @@ func (db *DB) ApplyGroup(cid ts.CID, ops []wal.Op) error {
 }
 
 // ApplyRecord replays one WAL record (the unit the replication stream
-// ships), dispatching on its kind.
+// ships), dispatching on its kind. Multi-part commit groups are buffered in
+// the engine's assembler and applied only once complete: the stream can
+// legitimately carry the torn prefix of a batch (the tail of a crashed
+// primary's segment, shipped verbatim during catch-up), and such a group —
+// whose commit was never acknowledged — must vanish, not half-apply. The
+// assembler's drop/error rules are documented on wal.GroupAssembler.
 func (db *DB) ApplyRecord(r *wal.Record) error {
 	switch r.Kind {
 	case wal.KindDDL:
+		db.asm.Abandon()
 		return db.ApplyDDL(r.TableID, r.TableName)
 	case wal.KindGroup:
-		return db.ApplyGroup(r.CID, r.Ops)
+		cid, ops, done, err := db.asm.Feed(r)
+		if err != nil {
+			return err
+		}
+		if !done {
+			return nil
+		}
+		return db.ApplyGroup(cid, ops)
 	default:
 		return fmt.Errorf("core: replicated record of unknown kind %d", r.Kind)
 	}

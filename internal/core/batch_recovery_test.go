@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hybridgc/internal/fault"
+	"hybridgc/internal/mvcc"
+	"hybridgc/internal/ts"
+	"hybridgc/internal/wal"
+)
+
+// groupPart builds one member record of a batched commit group.
+func groupPart(cid ts.CID, part, parts uint32, ops ...wal.Op) *wal.Record {
+	return &wal.Record{Kind: wal.KindGroup, CID: cid, Part: part, Parts: parts, Ops: ops}
+}
+
+func ins(tid ts.TableID, rid ts.RID, img string) wal.Op {
+	return wal.Op{Op: mvcc.OpInsert, Table: tid, RID: rid, Payload: []byte(img)}
+}
+
+// TestTornBatchNeverPartiallyReplayed is the dedicated crash-matrix leg for
+// the batched group-commit path: a multi-member commit group torn mid-write —
+// with whole member frames of its prefix durably on disk — must recover
+// atomically to nothing. The earlier acknowledged group must survive intact.
+func TestTornBatchNeverPartiallyReplayed(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&wal.Record{Kind: wal.KindDDL, TableID: 1, TableName: "T"}); err != nil {
+		t.Fatal(err)
+	}
+	// Acknowledged group: CID 1, two members.
+	if _, err := l.AppendBatch([]*wal.Record{
+		groupPart(1, 0, 2, ins(1, 1, "a")),
+		groupPart(1, 1, 2, ins(1, 2, "b")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Torn group: CID 2, three members. The last member's payload dominates
+	// the batch, so the torn write (half the batch bytes) leaves members 0
+	// and 1 as WHOLE, checksum-valid frames on disk — the case a torn-frame
+	// check alone cannot catch; only part accounting can.
+	big := make([]byte, 8192)
+	fault.Enable(wal.FPAppendBatchTorn, fault.Once())
+	_, err = l.AppendBatch([]*wal.Record{
+		groupPart(2, 0, 3, ins(1, 3, "x")),
+		groupPart(2, 1, 3, ins(1, 4, "y")),
+		groupPart(2, 2, 3, wal.Op{Op: mvcc.OpInsert, Table: 1, RID: 5, Payload: big}),
+	})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("torn batch append: %v, want injected failure", err)
+	}
+	fault.Disable(wal.FPAppendBatchTorn)
+	l.Close() // fail-stopped: closes without flushing the buffered remainder
+
+	// Prove the torn image really contains intact prefix frames: the raw
+	// segment must hold the DDL record, both CID-1 parts, and at least one
+	// CID-2 part.
+	segs, err := wal.Segments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	var kinds []wal.Kind
+	var cid2parts int
+	if err := wal.ReadSegment(segs[0].Path, func(r *wal.Record) error {
+		kinds = append(kinds, r.Kind)
+		if r.Kind == wal.KindGroup && r.CID == 2 {
+			cid2parts++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) < 4 || cid2parts < 1 {
+		t.Fatalf("torn image has %d records (%d of the torn group) — the scenario "+
+			"did not leave a durable prefix, so the test proves nothing", len(kinds), cid2parts)
+	}
+	if cid2parts >= 3 {
+		t.Fatalf("all %d parts of the torn group survived; nothing was torn", cid2parts)
+	}
+
+	db, err := Open(Config{Persistence: &Persistence{Dir: dir, Sync: true}})
+	if err != nil {
+		t.Fatalf("recovery over a torn batch: %v", err)
+	}
+	defer db.Close()
+	if got := db.Manager().CurrentTS(); got != 1 {
+		t.Fatalf("recovered CID %d, want 1 (torn group 2 must not count)", got)
+	}
+	tid := db.TableID("T")
+	if tid == 0 {
+		t.Fatal("table T missing after recovery")
+	}
+	for rid, want := range map[ts.RID]string{1: "a", 2: "b"} {
+		img, ok := db.ReadAt(tid, rid, 1)
+		if !ok || string(img) != want {
+			t.Fatalf("acked row %d: %q,%v want %q", rid, img, ok, want)
+		}
+	}
+	for _, rid := range []ts.RID{3, 4, 5} {
+		if img, ok := db.ReadAt(tid, rid, 99); ok {
+			t.Fatalf("row %d of the torn group partially replayed: %q", rid, img)
+		}
+	}
+	if n := db.ScanCountAt(tid, 99); n != 2 {
+		t.Fatalf("%d live rows after recovery, want 2", n)
+	}
+}
+
+// TestApplyRecordAssemblesGroups drives the replica apply path with a
+// multi-part group: nothing becomes visible until the last part, duplicate
+// delivery CID-dedupes, and torn-prefix residue followed by a CID-reusing
+// restart applies only the new group.
+func TestApplyRecordAssemblesGroups(t *testing.T) {
+	db, err := Open(Config{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ApplyRecord(&wal.Record{Kind: wal.KindDDL, TableID: 1, TableName: "T"}); err != nil {
+		t.Fatal(err)
+	}
+	tid := db.TableID("T")
+
+	// Parts 0 and 1 of a 3-part group: buffered, not visible.
+	for p := uint32(0); p < 2; p++ {
+		if err := db.ApplyRecord(groupPart(1, p, 3, ins(tid, ts.RID(p+1), "v"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Manager().CurrentTS(); got != 0 {
+		t.Fatalf("CID %d visible before the group completed", got)
+	}
+	if _, ok := db.ReadAt(tid, 1, 99); ok {
+		t.Fatal("buffered part leaked into the table space")
+	}
+	// The last part applies the whole group at once.
+	if err := db.ApplyRecord(groupPart(1, 2, 3, ins(tid, 3, "v"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Manager().CurrentTS(); got != 1 {
+		t.Fatalf("CID %d after completion, want 1", got)
+	}
+	if n := db.ScanCountAt(tid, 1); n != 3 {
+		t.Fatalf("%d rows applied, want 3", n)
+	}
+
+	// Duplicate delivery of the whole group (stream overlap) is a no-op.
+	for p := uint32(0); p < 3; p++ {
+		if err := db.ApplyRecord(groupPart(1, p, 3, ins(tid, ts.RID(p+1), "v"))); err != nil {
+			t.Fatalf("duplicate part %d: %v", p, err)
+		}
+	}
+	if n := db.ScanCountAt(tid, 1); n != 3 {
+		t.Fatalf("duplicate group changed row count to %d", n)
+	}
+
+	// Torn residue: parts 0..1 of CID 2 arrive, then the primary (which
+	// recovered and reused the CID) ships a fresh single-record group 2.
+	if err := db.ApplyRecord(groupPart(2, 0, 3, ins(tid, 10, "dead"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ApplyRecord(groupPart(2, 1, 3, ins(tid, 11, "dead"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ApplyRecord(groupPart(2, 0, 1, ins(tid, 12, "live"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Manager().CurrentTS(); got != 2 {
+		t.Fatalf("CID %d after restart group, want 2", got)
+	}
+	if _, ok := db.ReadAt(tid, 10, 99); ok {
+		t.Fatal("torn-residue part applied")
+	}
+	if img, ok := db.ReadAt(tid, 12, 2); !ok || string(img) != "live" {
+		t.Fatalf("restart group row: %q,%v", img, ok)
+	}
+
+	// A continuation that extends nothing is corruption, surfaced as an error.
+	if err := db.ApplyRecord(groupPart(9, 2, 3, ins(tid, 13, "x"))); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("orphan continuation: %v, want wal.ErrCorrupt", err)
+	}
+}

@@ -34,21 +34,41 @@ var ErrNoPersistence = errors.New("core: persistence not configured")
 // walLogger adapts the WAL to the transaction manager's CommitLogger hook.
 type walLogger struct {
 	log *wal.Log
+	// recs/pool are the committer's reused record scaffolding. LogCommit is
+	// called from the single committer goroutine, so no locking is layered.
+	recs []*wal.Record
+	pool []wal.Record
 }
 
-// LogCommit implements txn.CommitLogger: it bundles every operation of every
-// member transaction, in creation order, with the group CID into one log
-// record and makes it durable before the committer publishes the group.
+// LogCommit implements txn.CommitLogger: the commit group becomes one
+// KindGroup record per member transaction, all sharing the group CID and
+// stamped Part/Parts, appended as one batch — one write, one fsync — before
+// the committer publishes the group. Recovery and the replication applier
+// replay the group only once every part is present, so a batch torn by a
+// crash (which was never acknowledged) disappears instead of surfacing a
+// partial commit.
 func (w *walLogger) LogCommit(cid ts.CID, members []*mvcc.TransContext) error {
-	rec := &wal.Record{Kind: wal.KindGroup, CID: cid}
-	for _, tc := range members {
+	if cap(w.pool) < len(members) {
+		w.pool = make([]wal.Record, len(members))
+		w.recs = make([]*wal.Record, len(members))
+	}
+	recs := w.recs[:len(members)]
+	for i, tc := range members {
+		rec := &w.pool[i]
+		*rec = wal.Record{
+			Kind: wal.KindGroup, CID: cid,
+			Part: uint32(i), Parts: uint32(len(members)),
+			Ops: rec.Ops[:0],
+		}
 		for _, v := range tc.Versions() {
 			rec.Ops = append(rec.Ops, wal.Op{
 				Op: v.Op, Table: v.Key.Table, RID: v.Key.RID, Payload: v.Payload,
 			})
 		}
+		recs[i] = rec
 	}
-	return w.log.Append(rec)
+	_, err := w.log.AppendBatch(recs)
+	return err
 }
 
 // recover rebuilds the table space from the checkpoint (if any) and the log,
@@ -84,9 +104,15 @@ func recoverInto(cat *table.Catalog, dir string) (ts.CID, error) {
 		return 0, err
 	}
 
+	// Multi-part commit groups replay only once every part is present; parts
+	// still pending when the log ends are the torn tail of a batch whose
+	// commit was never acknowledged, and are dropped by simply never applying
+	// them (see wal.GroupAssembler for the full contract).
+	var asm wal.GroupAssembler
 	err = wal.ReadAll(dir, func(r *wal.Record) error {
 		switch r.Kind {
 		case wal.KindDDL:
+			asm.Abandon()
 			if cat.ByID(r.TableID) != nil {
 				return nil // covered by the checkpoint
 			}
@@ -96,13 +122,20 @@ func recoverInto(cat *table.Catalog, dir string) (ts.CID, error) {
 			if r.CID <= recovered {
 				return nil // covered by the checkpoint
 			}
-			for _, op := range r.Ops {
+			cid, ops, done, err := asm.Feed(r)
+			if err != nil {
+				return err
+			}
+			if !done {
+				return nil
+			}
+			for _, op := range ops {
 				if err := replayOp(cat, op); err != nil {
-					return fmt.Errorf("replaying CID %d: %w", r.CID, err)
+					return fmt.Errorf("replaying CID %d: %w", cid, err)
 				}
 			}
-			if r.CID > recovered {
-				recovered = r.CID
+			if cid > recovered {
+				recovered = cid
 			}
 		}
 		return nil

@@ -65,7 +65,7 @@ const (
 // Classify maps a site to its expected reaction.
 func Classify(site string) Class {
 	switch site {
-	case wal.FPAppend, wal.FPAppendTorn, wal.FPSync, wal.FPRotate, txn.FPPublish:
+	case wal.FPAppend, wal.FPAppendTorn, wal.FPAppendBatchTorn, wal.FPSync, wal.FPRotate, txn.FPPublish:
 		return ClassFatal
 	case core.FPRecover:
 		return ClassRecovery
@@ -76,10 +76,13 @@ func Classify(site string) Class {
 
 // strictlyAbsent reports whether a site fails before any byte of the commit
 // record is durably framed, so the rejected commit must NOT survive recovery.
-// The remaining fatal sites (fsync, publish) fail after the record reached
-// the OS, where either outcome is legal for an unacknowledged commit.
+// FPAppendBatchTorn qualifies too: it flushes whole frames of the batch's
+// prefix, but recovery drops an incomplete group entirely, so the torn commit
+// must still be absent. The remaining fatal sites (fsync, publish) fail after
+// the full record reached the OS, where either outcome is legal for an
+// unacknowledged commit.
 func strictlyAbsent(site string) bool {
-	return site == wal.FPAppend || site == wal.FPAppendTorn
+	return site == wal.FPAppend || site == wal.FPAppendTorn || site == wal.FPAppendBatchTorn
 }
 
 // Report summarizes one scenario run for the test to assert on.

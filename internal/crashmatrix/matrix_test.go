@@ -23,6 +23,7 @@ func TestInventoryComplete(t *testing.T) {
 		txn.FPPublish,
 		wal.FPAppend,
 		wal.FPAppendTorn,
+		wal.FPAppendBatchTorn,
 		wal.FPCheckpointRename,
 		wal.FPCheckpointSync,
 		wal.FPCheckpointWrite,

@@ -39,9 +39,11 @@ type Chain struct {
 	// that raced with the removal retry their lookup.
 	dead bool
 
-	// bucketNext links chains within one hash bucket; guarded by the bucket
-	// lock.
-	bucketNext *Chain
+	// bucketNext links chains within one hash bucket. Writes happen under
+	// the bucket mutex; reads are lock-free atomic loads (HashTable.Get).
+	// After an unlink the pointer is left intact so in-flight readers keep
+	// traversing the bucket.
+	bucketNext atomic.Pointer[Chain]
 
 	length atomic.Int32
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hybridgc/internal/metrics"
 	"hybridgc/internal/ts"
 )
 
@@ -11,18 +12,31 @@ import (
 // each holding a linked list of version chains. When several chains land in
 // one bucket, lookups pay extra pointer traversals — the collision cost whose
 // impact Figure 13 measures — so the table exposes collision statistics.
+//
+// Reads are lock-free: bucket heads and the intra-bucket links are atomic
+// pointers, so Get walks the collision list without taking the bucket mutex.
+// The mutex serializes only the mutators (insert in GetOrCreate, unlink in
+// Remove). The memory model argument for why a lock-free reader is safe
+// against a concurrent unlink is spelled out in DESIGN.md §10; the short
+// version is that an unlinked chain keeps its forward pointer, so a reader
+// standing on it still reaches the rest of the bucket, and the chain's own
+// `dead` flag (set under the chain latch before Remove is called) makes
+// writers that raced with the removal retry their lookup.
 type HashTable struct {
 	buckets []hashBucket
 	mask    uint64
 	chains  atomic.Int64
-	// lookups/extraHops measure the navigation cost caused by collisions.
-	lookups   atomic.Int64
-	extraHops atomic.Int64
+	// stats fuses the lookup and extra-hop counters, striped so the
+	// statistics do not serialize lock-free readers on a shared cache line;
+	// the key hash (already computed for bucket selection) spreads
+	// concurrent readers over the stripes, and fusing the pair keeps both
+	// updates on one line per lookup.
+	stats metrics.StripedPair
 }
 
 type hashBucket struct {
-	mu   sync.Mutex
-	head *Chain
+	mu   sync.Mutex // serializes insert/unlink; readers never take it
+	head atomic.Pointer[Chain]
 }
 
 // DefaultBuckets is the default RID hash table size. It is deliberately
@@ -58,38 +72,50 @@ func hashKey(k ts.RecordKey) uint64 {
 }
 
 // Get returns the chain registered for key, or nil. It records the pointer
-// hops spent walking the bucket's collision list.
+// hops spent walking the bucket's collision list. The walk is lock-free: it
+// loads the bucket head and follows atomic bucketNext links, so concurrent
+// inserts and GC unlinks never block a reader. A chain returned here may
+// already be marked dead by a concurrent collector; callers that mutate take
+// the chain latch and re-check, exactly as they did when Get held the bucket
+// mutex — the race window merely moved from after Get to inside it.
 func (h *HashTable) Get(key ts.RecordKey) *Chain {
-	b := &h.buckets[hashKey(key)&h.mask]
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	h.lookups.Add(1)
+	hk := hashKey(key)
+	var found *Chain
 	hops := int64(0)
-	for c := b.head; c != nil; c = c.bucketNext {
+	for c := h.buckets[hk&h.mask].head.Load(); c != nil; c = c.bucketNext.Load() {
 		if c.Key == key {
-			h.extraHops.Add(hops)
-			return c
+			found = c
+			break
 		}
 		hops++
 	}
-	h.extraHops.Add(hops)
-	return nil
+	// Stripe by the high hash bits: the low bits picked the bucket, so using
+	// them again would correlate stripe contention with bucket contention.
+	hint := hk >> 48
+	if hops > 0 {
+		h.stats.AddBoth(hint, 1, hops)
+	} else {
+		h.stats.AddA(hint, 1)
+	}
+	return found
 }
 
 // GetOrCreate returns the chain for key, creating and registering an empty
-// one bound to rec if absent.
+// one bound to rec if absent. The scan and insert run under the bucket
+// mutex, serialized against other mutators; the new chain is published with
+// an atomic store so lock-free readers observe a fully initialized Chain.
 func (h *HashTable) GetOrCreate(key ts.RecordKey, rec RecordRef) *Chain {
 	b := &h.buckets[hashKey(key)&h.mask]
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for c := b.head; c != nil; c = c.bucketNext {
+	for c := b.head.Load(); c != nil; c = c.bucketNext.Load() {
 		if c.Key == key {
 			return c
 		}
 	}
 	c := &Chain{Key: key, Rec: rec}
-	c.bucketNext = b.head
-	b.head = c
+	c.bucketNext.Store(b.head.Load())
+	b.head.Store(c)
 	h.chains.Add(1)
 	return c
 }
@@ -97,35 +123,41 @@ func (h *HashTable) GetOrCreate(key ts.RecordKey, rec RecordRef) *Chain {
 // Remove unlinks chain c from its bucket. The caller must have marked the
 // chain dead under its latch first, so racing writers retry GetOrCreate and
 // observe a fresh chain rather than resurrecting this one.
+//
+// The unlinked chain's bucketNext is deliberately left intact: a lock-free
+// reader that loaded c just before the unlink keeps following it to the rest
+// of the bucket. New lookups can no longer reach c, and Go's garbage
+// collector reclaims it once the last reader moves on — no epoch or hazard
+// scheme is needed.
 func (h *HashTable) Remove(c *Chain) {
 	b := &h.buckets[hashKey(c.Key)&h.mask]
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch {
-	case b.head == c:
-		b.head = c.bucketNext
+	case b.head.Load() == c:
+		b.head.Store(c.bucketNext.Load())
 	default:
-		for p := b.head; p != nil; p = p.bucketNext {
-			if p.bucketNext == c {
-				p.bucketNext = c.bucketNext
+		for p := b.head.Load(); p != nil; p = p.bucketNext.Load() {
+			if p.bucketNext.Load() == c {
+				p.bucketNext.Store(c.bucketNext.Load())
 				break
 			}
 		}
 	}
-	c.bucketNext = nil
 	h.chains.Add(-1)
 }
 
 // ForEach visits every registered chain until fn returns false. Buckets are
-// visited in order; each bucket's membership is copied under its lock so fn
-// runs without holding it.
+// visited in order; each bucket's membership is copied under its mutex (a
+// stable snapshot against concurrent insert/unlink) so fn runs without
+// holding it.
 func (h *HashTable) ForEach(fn func(*Chain) bool) {
 	var batch []*Chain
 	for i := range h.buckets {
 		b := &h.buckets[i]
 		b.mu.Lock()
 		batch = batch[:0]
-		for c := b.head; c != nil; c = c.bucketNext {
+		for c := b.head.Load(); c != nil; c = c.bucketNext.Load() {
 			batch = append(batch, c)
 		}
 		b.mu.Unlock()
@@ -155,13 +187,13 @@ type HashStats struct {
 
 // Stats scans the buckets and returns collision statistics.
 func (h *HashTable) Stats() HashStats {
-	st := HashStats{Buckets: len(h.buckets), Chains: h.chains.Load(),
-		Lookups: h.lookups.Load(), ExtraHops: h.extraHops.Load()}
+	st := HashStats{Buckets: len(h.buckets), Chains: h.chains.Load()}
+	st.Lookups, st.ExtraHops = h.stats.Sums()
 	for i := range h.buckets {
 		b := &h.buckets[i]
 		b.mu.Lock()
 		n := 0
-		for c := b.head; c != nil; c = c.bucketNext {
+		for c := b.head.Load(); c != nil; c = c.bucketNext.Load() {
 			n++
 		}
 		b.mu.Unlock()

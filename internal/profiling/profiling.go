@@ -1,0 +1,98 @@
+// Package profiling gives every hybridgc binary the same three profiling
+// switches: -cpuprofile and -memprofile for offline pprof files, and
+// -pprof-addr for the live net/http/pprof endpoint on long-running
+// processes. The hot paths this repo optimizes (RID lookups, wire framing,
+// group commit) were found and verified with exactly these hooks; baking
+// them into the binaries keeps the measurement loop one flag away.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Flags holds the standard profiling flag values.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	PprofAddr  string
+}
+
+// Register attaches the standard profiling flags to fs (use flag.CommandLine
+// in main).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on Stop")
+	fs.StringVar(&f.PprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+var (
+	mu      sync.Mutex
+	cpuFile *os.File
+	memPath string
+)
+
+// Start begins whatever the flags ask for: CPU profiling to a file, and/or
+// the pprof HTTP listener (bound synchronously so a bad address fails here,
+// served in the background). Call Stop before the process exits; Stop is
+// what materializes -memprofile.
+func Start(f Flags) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if f.CPUProfile != "" {
+		file, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return fmt.Errorf("profiling: %w", err)
+		}
+		cpuFile = file
+	}
+	memPath = f.MemProfile
+	if f.PprofAddr != "" {
+		ln, err := net.Listen("tcp", f.PprofAddr)
+		if err != nil {
+			return fmt.Errorf("profiling: pprof listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+	return nil
+}
+
+// Stop finalizes profiling: the CPU profile is flushed and closed, and the
+// heap profile (if requested) is written after a GC so it reflects live
+// objects, not garbage. Idempotent, and a no-op without a prior Start — safe
+// to call from both a defer and a fatal-exit helper.
+func Stop() {
+	mu.Lock()
+	defer mu.Unlock()
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		cpuFile = nil
+	}
+	if memPath != "" {
+		path := memPath
+		memPath = ""
+		file, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.Lookup("heap").WriteTo(file, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+		}
+		file.Close()
+	}
+}

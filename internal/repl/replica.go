@@ -223,9 +223,13 @@ func (r *Replica) streamOnce() error {
 	defer func() { nc.Close(); <-repDone }()
 
 	expectCheckpoint := start == 0
+	// One reused message buffer for the whole stream: every case below fully
+	// decodes (the Rm* decoders copy out) before the next read overwrites it.
+	var scratch []byte
 	for {
 		_ = nc.SetReadDeadline(time.Now().Add(r.cfg.StallTimeout))
-		op, body, err := wire.ReadStreamMsg(br)
+		op, body, sc, err := wire.ReadStreamMsgInto(br, scratch)
+		scratch = sc
 		if err != nil {
 			return err
 		}

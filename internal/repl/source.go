@@ -530,10 +530,14 @@ func (s *Source) send(nc net.Conn, bw *bufio.Writer, op byte, body []byte) error
 	return wire.WriteStreamMsg(bw, op, body)
 }
 
-// sendRecord ships one WAL record: its LSN followed by the raw payload.
+// sendRecord ships one WAL record: its LSN followed by the raw payload. The
+// body is assembled in a pooled builder — this runs once per shipped record,
+// the stream's hottest path.
 func (s *Source) sendRecord(nc net.Conn, bw *bufio.Writer, lsn wal.LSN, payload []byte) error {
-	body := (&wire.Builder{}).U64(uint64(lsn)).Raw(payload).Take()
-	if err := s.send(nc, bw, wire.RmRecord, body); err != nil {
+	b := wire.GetBuilder().U64(uint64(lsn)).Raw(payload)
+	err := s.send(nc, bw, wire.RmRecord, b.Take())
+	wire.PutBuilder(b)
+	if err != nil {
 		return err
 	}
 	s.recordsSent.Add(1)

@@ -30,7 +30,18 @@ type conn struct {
 	nextCursor uint32
 	authed     bool
 	draining   atomic.Bool
+
+	// rbuf is the connection's reusable request-frame buffer: the serve loop
+	// is strictly read → dispatch → write, so the previous request body is
+	// dead by the next read. resp is the reusable response builder — valid
+	// until the response frame is written, which also happens before the
+	// next read. Both are single-goroutine state.
+	rbuf []byte
+	resp wire.Builder
 }
+
+// b returns the connection's response builder, emptied for this response.
+func (c *conn) b() *wire.Builder { return c.resp.Reset() }
 
 func newConn(s *Server, nc net.Conn) *conn {
 	return &conn{
@@ -74,7 +85,8 @@ func (c *conn) serve() {
 			return
 		}
 		_ = c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
-		op, body, err := wire.ReadFrame(c.br)
+		op, body, rbuf, err := wire.ReadFrameInto(c.br, c.rbuf)
+		c.rbuf = rbuf
 		if err != nil {
 			return // EOF, abrupt disconnect, idle timeout, drain poke
 		}
@@ -184,7 +196,7 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 	case wire.OpPing:
 		return ok(nil)
 	case wire.OpStats:
-		w := &wire.Builder{}
+		w := c.b()
 		st := c.srv.Stats()
 		st.Encode(w)
 		return ok(w)
@@ -224,7 +236,7 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 		if err != nil {
 			return fail(err)
 		}
-		return ok((&wire.Builder{}).U32(uint32(tid)))
+		return ok(c.b().U32(uint32(tid)))
 	case wire.OpTableIDs:
 		names := wire.GetStrings(r)
 		if err := firstErr(r); err != nil {
@@ -234,7 +246,7 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 		if err != nil {
 			return fail(err)
 		}
-		w := (&wire.Builder{}).U16(uint16(len(ids)))
+		w := c.b().U16(uint16(len(ids)))
 		for _, id := range ids {
 			w.U32(uint32(id))
 		}
@@ -253,7 +265,7 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 		if err != nil {
 			return fail(err)
 		}
-		return ok((&wire.Builder{}).Bytes(img))
+		return ok(c.b().Bytes(img))
 	case wire.OpInsert:
 		tid, img := ts.TableID(r.U32()), r.Bytes()
 		if err := firstErr(r); err != nil {
@@ -268,7 +280,7 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 		if err != nil {
 			return fail(err)
 		}
-		return ok((&wire.Builder{}).U64(uint64(rid)))
+		return ok(c.b().U64(uint64(rid)))
 	case wire.OpUpdate:
 		tid, rid, img := ts.TableID(r.U32()), ts.RID(r.U64()), r.Bytes()
 		if err := firstErr(r); err != nil {
@@ -307,7 +319,7 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 		if err != nil {
 			return fail(err)
 		}
-		w := (&wire.Builder{}).U32(uint32(len(pairs)))
+		w := c.b().U32(uint32(len(pairs)))
 		for _, p := range pairs {
 			w.U64(uint64(p.rid)).Bytes(p.img)
 		}
@@ -352,7 +364,7 @@ func (c *conn) hello(r *wire.Parser) (byte, []byte) {
 		return fail(wire.ErrAuth)
 	}
 	c.authed = true
-	return ok((&wire.Builder{}).U8(wire.Version))
+	return ok(c.b().U8(wire.Version))
 }
 
 func (c *conn) exec(r *wire.Parser) (byte, []byte) {
@@ -364,7 +376,7 @@ func (c *conn) exec(r *wire.Parser) (byte, []byte) {
 	if err != nil {
 		return fail(err)
 	}
-	w := &wire.Builder{}
+	w := c.b()
 	w.Str(res.Message).U32(uint32(res.Affected))
 	wire.PutStrings(w, res.Columns)
 	wire.PutRows(w, toWireRows(res.Rows))
@@ -384,7 +396,7 @@ func (c *conn) qopen(r *wire.Parser) (byte, []byte) {
 	id := c.nextCursor
 	c.cursors[id] = qc
 	c.srv.cursorsOpen.Add(1)
-	w := (&wire.Builder{}).U32(id).U64(uint64(qc.SnapshotTS()))
+	w := c.b().U32(id).U64(uint64(qc.SnapshotTS()))
 	wire.PutStrings(w, qc.Columns())
 	return ok(w)
 }
@@ -405,7 +417,7 @@ func (c *conn) qfetch(r *wire.Parser) (byte, []byte) {
 	if err != nil {
 		return fail(err)
 	}
-	w := (&wire.Builder{}).Bool(qc.Exhausted()).U64(uint64(fst.Traversed)).U64(uint64(fst.Duration))
+	w := c.b().Bool(qc.Exhausted()).U64(uint64(fst.Traversed)).U64(uint64(fst.Duration))
 	wire.PutRows(w, toWireRows(rows))
 	return ok(w)
 }

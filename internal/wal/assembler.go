@@ -1,0 +1,101 @@
+package wal
+
+import (
+	"fmt"
+
+	"hybridgc/internal/ts"
+)
+
+// GroupAssembler reassembles multi-part commit groups from a record sequence
+// — the log during recovery, or the replication stream on a replica. A group
+// is Parts consecutive KindGroup records sharing one CID (see Record); the
+// assembler buffers parts and releases the group's operations only when the
+// last part arrives, so an incomplete group — the residue of a batch torn by
+// a crash, whose commit was never acknowledged — is never partially applied.
+//
+// Drop/error rules, derived from how groups can legally reach a reader:
+//
+//   - A new group start (Part 0, or a single-record group) while a group is
+//     pending DROPS the pending parts. The batch append writes a whole group
+//     under one log lock, so parts are always consecutive on disk and on the
+//     stream; a group abandoned mid-flight is exactly the torn-batch residue,
+//     and the CID it carries may be reused by the next commit after the
+//     primary recovers (the torn commit never happened).
+//   - A DDL record while a group is pending likewise DROPS the pending parts
+//     (the caller reports it via Abandon): nothing can interleave inside a
+//     batch, so a non-group record proves the pending group will never
+//     complete.
+//   - A continuation that does not extend the pending group — wrong CID,
+//     wrong part index, wrong group size, or no pending group at all — is
+//     CORRUPTION and errors out: consecutive-on-disk means a mismatched
+//     continuation cannot be explained by any crash.
+//   - Pending parts left at the end of the sequence are dropped by the caller
+//     simply by not applying anything (recovery), or kept pending across a
+//     stream reconnect (the replica's assembler lives on the engine, so a
+//     resumed stream supplies the remaining parts).
+type GroupAssembler struct {
+	pending bool
+	cid     ts.CID
+	next    uint32
+	parts   uint32
+	ops     []Op
+	dropped int64
+}
+
+// Feed consumes one KindGroup record. When the record completes a group it
+// returns (cid, ops, true); the ops slice is reused by the next group, so the
+// caller must apply it before the next Feed. A record that merely extends a
+// pending group returns done=false.
+func (a *GroupAssembler) Feed(r *Record) (ts.CID, []Op, bool, error) {
+	if r.Parts <= 1 {
+		// Whole group in one record (Parts==1, or a legacy record without
+		// part fields). Starting a new group abandons any pending one.
+		a.Abandon()
+		return r.CID, r.Ops, true, nil
+	}
+	if r.Part == 0 {
+		a.Abandon()
+		a.pending = true
+		a.cid = r.CID
+		a.next = 1
+		a.parts = r.Parts
+		a.ops = append(a.ops[:0], r.Ops...)
+		return 0, nil, false, nil
+	}
+	if !a.pending || r.CID != a.cid || r.Part != a.next || r.Parts != a.parts {
+		return 0, nil, false, fmt.Errorf(
+			"%w: group continuation CID %d part %d/%d does not extend pending CID %d part %d/%d",
+			ErrCorrupt, r.CID, r.Part, r.Parts, a.cid, a.next, a.parts)
+	}
+	a.ops = append(a.ops, r.Ops...)
+	a.next++
+	if a.next < a.parts {
+		return 0, nil, false, nil
+	}
+	a.pending = false
+	return a.cid, a.ops, true, nil
+}
+
+// Abandon drops any pending incomplete group (torn-batch residue). Safe to
+// call when nothing is pending.
+func (a *GroupAssembler) Abandon() {
+	if a.pending {
+		a.pending = false
+		a.dropped++
+	}
+}
+
+// Reset clears all assembler state, including the reused ops buffer.
+func (a *GroupAssembler) Reset() { *a = GroupAssembler{} }
+
+// Pending reports whether a partially assembled group is buffered, and its
+// CID when so.
+func (a *GroupAssembler) Pending() (ts.CID, bool) {
+	if !a.pending {
+		return 0, false
+	}
+	return a.cid, true
+}
+
+// Dropped counts the incomplete groups abandoned so far.
+func (a *GroupAssembler) Dropped() int64 { return a.dropped }

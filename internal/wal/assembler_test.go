@@ -1,0 +1,198 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"hybridgc/internal/mvcc"
+	"hybridgc/internal/ts"
+)
+
+func part(cid ts.CID, part, parts uint32, rids ...ts.RID) *Record {
+	r := &Record{Kind: KindGroup, CID: cid, Part: part, Parts: parts}
+	for _, rid := range rids {
+		r.Ops = append(r.Ops, Op{Op: mvcc.OpInsert, Table: 1, RID: rid})
+	}
+	return r
+}
+
+func TestAssemblerCompleteGroup(t *testing.T) {
+	var a GroupAssembler
+	if _, _, done, err := a.Feed(part(7, 0, 3, 1)); done || err != nil {
+		t.Fatalf("part 0: done=%v err=%v", done, err)
+	}
+	if _, _, done, err := a.Feed(part(7, 1, 3, 2, 3)); done || err != nil {
+		t.Fatalf("part 1: done=%v err=%v", done, err)
+	}
+	cid, ops, done, err := a.Feed(part(7, 2, 3, 4))
+	if !done || err != nil || cid != 7 {
+		t.Fatalf("part 2: cid=%d done=%v err=%v", cid, done, err)
+	}
+	if len(ops) != 4 {
+		t.Fatalf("assembled %d ops, want 4", len(ops))
+	}
+	for i, want := range []ts.RID{1, 2, 3, 4} {
+		if ops[i].RID != want {
+			t.Fatalf("op %d RID %d, want %d (order lost)", i, ops[i].RID, want)
+		}
+	}
+	if _, ok := a.Pending(); ok {
+		t.Fatal("assembler still pending after a complete group")
+	}
+}
+
+func TestAssemblerSingleRecordGroups(t *testing.T) {
+	var a GroupAssembler
+	// Parts==1 and legacy Parts==0 both complete immediately.
+	for _, parts := range []uint32{1, 0} {
+		cid, ops, done, err := a.Feed(part(9, 0, parts, 5))
+		if !done || err != nil || cid != 9 || len(ops) != 1 {
+			t.Fatalf("parts=%d: cid=%d ops=%d done=%v err=%v", parts, cid, len(ops), done, err)
+		}
+	}
+}
+
+// TestAssemblerDropsTornResidue covers the legal torn-prefix sequences a
+// reader can see: a pending group abandoned by a new group start (including
+// one that reuses the torn group's CID — the primary recovered and handed the
+// unacknowledged CID to the next commit), and by a DDL record.
+func TestAssemblerDropsTornResidue(t *testing.T) {
+	var a GroupAssembler
+	if _, _, _, err := a.Feed(part(5, 0, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := a.Feed(part(5, 1, 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// New group start with the same CID: the torn group vanishes, the new
+	// single-record group applies alone.
+	cid, ops, done, err := a.Feed(part(5, 0, 1, 9))
+	if !done || err != nil || cid != 5 {
+		t.Fatalf("restart: cid=%d done=%v err=%v", cid, done, err)
+	}
+	if len(ops) != 1 || ops[0].RID != 9 {
+		t.Fatalf("torn parts leaked into the new group: %+v", ops)
+	}
+	if a.Dropped() != 1 {
+		t.Fatalf("dropped=%d, want 1", a.Dropped())
+	}
+
+	// DDL after a pending prefix abandons it too.
+	if _, _, _, err := a.Feed(part(6, 0, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	a.Abandon()
+	if _, ok := a.Pending(); ok {
+		t.Fatal("pending after Abandon")
+	}
+	// A continuation of the abandoned group is now corruption.
+	if _, _, _, err := a.Feed(part(6, 1, 2, 2)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("continuation after abandon: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAssemblerRejectsMismatchedContinuations(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  *Record
+	}{
+		{"wrong CID", part(8, 1, 3, 2)},
+		{"skipped part", part(4, 2, 3, 2)},
+		{"wrong group size", part(4, 1, 4, 2)},
+	}
+	for _, c := range cases {
+		var a GroupAssembler
+		if _, _, _, err := a.Feed(part(4, 0, 3, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := a.Feed(c.rec); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: err=%v, want ErrCorrupt", c.name, err)
+		}
+	}
+	// A continuation with no pending group at all.
+	var a GroupAssembler
+	if _, _, _, err := a.Feed(part(4, 1, 3, 1)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("orphan continuation: want ErrCorrupt")
+	}
+}
+
+// TestAppendBatchRoundTrip proves the batch write path produces frames the
+// normal segment reader decodes record-for-record, with Part/Parts intact and
+// LSNs dense in append order.
+func TestAppendBatchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []*Record{
+		part(3, 0, 3, 1, 2),
+		part(3, 1, 3, 3),
+		part(3, 2, 3, 4, 5, 6),
+	}
+	recs[0].Ops[0].Payload = []byte("hello")
+	lsns, err := l.AppendBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 3 {
+		t.Fatalf("%d LSNs, want 3", len(lsns))
+	}
+	for i, lsn := range lsns {
+		if lsn.Index() != uint64(i) {
+			t.Fatalf("LSN %d = %s, want index %d", i, lsn, i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []*Record
+	if err := ReadAll(dir, func(r *Record) error {
+		cp := *r
+		got = append(got, &cp)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read back %d records, want 3", len(got))
+	}
+	for i, r := range got {
+		if r.CID != 3 || r.Part != uint32(i) || r.Parts != 3 {
+			t.Fatalf("record %d: CID=%d Part=%d Parts=%d", i, r.CID, r.Part, r.Parts)
+		}
+		if len(r.Ops) != len(recs[i].Ops) {
+			t.Fatalf("record %d: %d ops, want %d", i, len(r.Ops), len(recs[i].Ops))
+		}
+	}
+	if string(got[0].Ops[0].Payload) != "hello" {
+		t.Fatalf("payload %q lost in the batch round trip", got[0].Ops[0].Payload)
+	}
+}
+
+// TestAppendBatchOneSyncPerGroup pins the batched path's durability cost:
+// however many member records a group carries, it costs exactly one fsync.
+func TestAppendBatchOneSyncPerGroup(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, members := range []int{1, 4, 16} {
+		recs := make([]*Record, members)
+		for i := range recs {
+			recs[i] = part(1, uint32(i), uint32(members), ts.RID(i+1))
+		}
+		if _, err := l.AppendBatch(recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := l.MetricsSnapshot()
+	if m.Batches != 3 || m.Syncs != 3 {
+		t.Fatalf("3 groups cost %d syncs over %d batches, want exactly 1 per group", m.Syncs, m.Batches)
+	}
+	if m.Records != 1+4+16 {
+		t.Fatalf("records=%d, want %d", m.Records, 1+4+16)
+	}
+}

@@ -28,6 +28,11 @@ var (
 	// FPAppendTorn writes only the first half of the frame before failing —
 	// the classic torn tail a power cut mid-write leaves behind.
 	FPAppendTorn = fault.Declare("wal/append-torn", "write half a frame, then fail (torn tail)")
+	// FPAppendBatchTorn writes only the first half of a batched commit
+	// group's frames before failing: some member records of the group reach
+	// the disk, the rest do not. Recovery must treat the whole group as
+	// absent — it was never acknowledged.
+	FPAppendBatchTorn = fault.Declare("wal/append-batch-torn", "write half a commit-group batch, then fail")
 	// FPSync fires after the record is flushed to the OS but before fsync:
 	// the commit is not acknowledged, yet the record may survive the crash
 	// (commit ambiguity).
@@ -134,6 +139,35 @@ type Log struct {
 	size    int64
 	failErr error
 	subs    map[*Subscription]struct{}
+
+	// batchBuf is AppendBatch's reused frame-assembly buffer: the whole
+	// commit group is encoded and framed here, then written with one Write
+	// and made durable with one Sync.
+	batchBuf []byte
+
+	// Write-path counters (guarded by mu): appended records, batch calls,
+	// and fsyncs issued. records/syncs is the "fsyncs per group" indicator
+	// the batched group commit exists to push down to 1.
+	ctrRecords int64
+	ctrBatches int64
+	ctrSyncs   int64
+}
+
+// Metrics is a snapshot of the log's write-path counters.
+type Metrics struct {
+	// Records is the number of records appended (batched or not).
+	Records int64
+	// Batches counts AppendBatch calls that wrote at least one record.
+	Batches int64
+	// Syncs counts fsyncs issued on the append path.
+	Syncs int64
+}
+
+// MetricsSnapshot returns the current write-path counters.
+func (l *Log) MetricsSnapshot() Metrics {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Metrics{Records: l.ctrRecords, Batches: l.ctrBatches, Syncs: l.ctrSyncs}
 }
 
 // ErrLogFailed reports an append on a log that already failed an I/O
@@ -284,8 +318,115 @@ func (l *Log) Append(r *Record) error {
 	}
 	lsn := MakeLSN(l.seq, l.recs)
 	l.recs++
+	l.ctrRecords++
+	if l.opts.Sync {
+		l.ctrSyncs++
+	}
 	l.publishLocked(Appended{LSN: lsn, Payload: payload})
 	return nil
+}
+
+// maxBatchBufRetain caps the assembly buffer kept across AppendBatch calls;
+// one unusually large group should not pin its buffer forever.
+const maxBatchBufRetain = 1 << 20
+
+// AppendBatch frames and writes a whole commit group — one record per member
+// transaction — as a single Write and, with Sync set, a single fsync, all
+// under one lock acquisition. The group is assembled in a buffer reused
+// across calls, so the steady-state allocation cost is the returned LSN
+// slice. LSNs are assigned and published to subscribers in record order
+// before the lock is released, so no concurrent Append can interleave inside
+// the group. Errors fail-stop the log exactly like Append.
+//
+// Durability is all-or-nothing per write call, not per record: a crash
+// mid-write can leave a prefix of the group's frames on disk, which is why
+// group records carry Part/Parts and recovery drops incomplete groups (the
+// commit was never acknowledged).
+func (l *Log) AppendBatch(recs []*Record) ([]LSN, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil, errors.New("wal: log closed")
+	}
+	if l.failErr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrLogFailed, l.failErr)
+	}
+	if err := fault.Hit(FPAppend); err != nil {
+		return nil, l.failLocked(err)
+	}
+	buf := l.batchBuf[:0]
+	// Frame every record back-to-back; starts[i] is where record i's frame
+	// begins, so payloads can be sliced back out for publishing.
+	starts := make([]int, len(recs)+1)
+	for i, r := range recs {
+		starts[i] = len(buf)
+		// Reserve the 8-byte frame header, encode the payload in place, then
+		// backfill length and checksum — no per-record staging buffer.
+		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+		pstart := len(buf)
+		buf = r.AppendPayload(buf)
+		payload := buf[pstart:]
+		binary.LittleEndian.PutUint32(buf[starts[i]:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[starts[i]+4:], crc32.Checksum(payload, crcTable))
+	}
+	starts[len(recs)] = len(buf)
+	if cap(buf) <= maxBatchBufRetain {
+		l.batchBuf = buf
+	} else {
+		l.batchBuf = nil
+	}
+	if err := fault.Hit(FPAppendTorn); err != nil {
+		// Simulate a torn write of the group's first frame: no member record
+		// survives whole. Same site as the single-record path so the torn-tail
+		// matrix covers both.
+		if _, werr := l.w.Write(buf[:starts[1]/2]); werr == nil {
+			_ = l.w.Flush()
+		}
+		return nil, l.failLocked(err)
+	}
+	if err := fault.Hit(FPAppendBatchTorn); err != nil {
+		// Simulate a power cut mid-batch: half the bytes reach the OS, then
+		// the device dies. Some member records are whole on disk, the rest are
+		// missing or torn — recovery must discard them all.
+		if _, werr := l.w.Write(buf[:len(buf)/2]); werr == nil {
+			_ = l.w.Flush()
+		}
+		return nil, l.failLocked(err)
+	}
+	if _, err := l.w.Write(buf); err != nil {
+		return nil, l.failLocked(err)
+	}
+	l.size += int64(len(buf))
+	if err := l.w.Flush(); err != nil {
+		return nil, l.failLocked(err)
+	}
+	if l.opts.Sync {
+		if err := fault.Hit(FPSync); err != nil {
+			return nil, l.failLocked(err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return nil, l.failLocked(err)
+		}
+		l.ctrSyncs++
+	}
+	lsns := make([]LSN, len(recs))
+	publish := len(l.subs) > 0
+	for i := range recs {
+		lsns[i] = MakeLSN(l.seq, l.recs)
+		l.recs++
+		if publish {
+			// The assembly buffer is reused by the next batch, but a payload
+			// handed to a subscription channel outlives this call — copy.
+			payload := append([]byte(nil), buf[starts[i]+8:starts[i+1]]...)
+			l.publishLocked(Appended{LSN: lsns[i], Payload: payload})
+		}
+	}
+	l.ctrRecords += int64(len(recs))
+	l.ctrBatches++
+	return lsns, nil
 }
 
 // Rotate closes the current segment and starts the next one, returning the

@@ -44,9 +44,17 @@ type Record struct {
 	TableID   ts.TableID
 	TableName string
 
-	// Group fields.
-	CID ts.CID
-	Ops []Op
+	// Group fields. A commit group is logged as Parts consecutive records
+	// sharing one CID — one record per member transaction, batched into a
+	// single write and fsync by AppendBatch. Part is this record's 0-based
+	// position in the group; Parts is the group size. Parts==1 (or the
+	// legacy 0) is a whole group in one record. A group is replayed only
+	// when all of its parts arrived: a crash can tear a batch mid-write,
+	// and the torn prefix belongs to a commit that was never acknowledged.
+	CID   ts.CID
+	Part  uint32
+	Parts uint32
+	Ops   []Op
 }
 
 // appendU32/U64 helpers over binary.LittleEndian.
@@ -55,7 +63,14 @@ func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUin
 
 // EncodePayload serializes the record body (without framing).
 func (r *Record) EncodePayload() []byte {
-	b := []byte{byte(r.Kind)}
+	return r.AppendPayload(nil)
+}
+
+// AppendPayload serializes the record body onto b — the allocation-free form
+// the batch append path uses to assemble a whole commit group in one reused
+// buffer.
+func (r *Record) AppendPayload(b []byte) []byte {
+	b = append(b, byte(r.Kind))
 	switch r.Kind {
 	case KindDDL:
 		b = appendU32(b, uint32(r.TableID))
@@ -63,6 +78,8 @@ func (r *Record) EncodePayload() []byte {
 		b = append(b, r.TableName...)
 	case KindGroup:
 		b = appendU64(b, uint64(r.CID))
+		b = appendU32(b, r.Part)
+		b = appendU32(b, r.Parts)
 		b = appendU32(b, uint32(len(r.Ops)))
 		for _, op := range r.Ops {
 			b = append(b, byte(op.Op))
@@ -151,6 +168,12 @@ func DecodePayload(b []byte) (*Record, error) {
 			return nil, err
 		}
 		r.CID = ts.CID(cid)
+		if r.Part, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if r.Parts, err = c.u32(); err != nil {
+			return nil, err
+		}
 		nops, err := c.u32()
 		if err != nil {
 			return nil, err
@@ -197,8 +220,13 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // Frame wraps an encoded payload with its length and checksum:
 // [u32 length][u32 crc32c][payload].
 func Frame(payload []byte) []byte {
-	out := make([]byte, 0, 8+len(payload))
-	out = appendU32(out, uint32(len(payload)))
-	out = appendU32(out, crc32.Checksum(payload, crcTable))
-	return append(out, payload...)
+	return AppendFrame(make([]byte, 0, 8+len(payload)), payload)
+}
+
+// AppendFrame appends the framed payload to dst. payload must not alias the
+// tail of dst (the checksum is computed before the copy).
+func AppendFrame(dst, payload []byte) []byte {
+	dst = appendU32(dst, uint32(len(payload)))
+	dst = appendU32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
 }

@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkWireFrameRoundTrip measures one frame encode+decode — the cost
+// every request, response, and shipped WAL record pays on the wire.
+func BenchmarkWireFrameRoundTrip(b *testing.B) {
+	body := make([]byte, 256)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := WriteFrame(&buf, OpPing, body); err != nil {
+			b.Fatal(err)
+		}
+		op, got, err := ReadFrame(&buf)
+		if err != nil || op != OpPing || len(got) != len(body) {
+			b.Fatalf("op=%d len=%d err=%v", op, len(got), err)
+		}
+	}
+}
+
+// BenchmarkWireFrameRoundTripPooled is the same round trip on the reuse
+// path the server loop runs: pooled write assembly plus a caller-recycled
+// read buffer. Steady state must be allocation-free (see alloc_test.go).
+func BenchmarkWireFrameRoundTripPooled(b *testing.B) {
+	body := make([]byte, 256)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, 4096))
+	var scratch []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := WriteFrame(buf, OpPing, body); err != nil {
+			b.Fatal(err)
+		}
+		op, got, sc, err := ReadFrameInto(buf, scratch)
+		scratch = sc
+		if err != nil || op != OpPing || len(got) != len(body) {
+			b.Fatalf("op=%d len=%d err=%v", op, len(got), err)
+		}
+	}
+}

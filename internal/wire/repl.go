@@ -112,18 +112,44 @@ func WriteStreamMsg(w *bufio.Writer, op byte, body []byte) error {
 }
 
 // ReadStreamMsg reads one stream message, returning its opcode and body.
+// The body is freshly allocated; apply loops that can recycle their read
+// buffer should use ReadStreamMsgInto.
 func ReadStreamMsg(r *bufio.Reader) (op byte, body []byte, err error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+	op, body, _, err = ReadStreamMsgInto(r, nil)
+	return op, body, err
+}
+
+// ReadStreamMsgInto reads one stream message into scratch, growing it as
+// needed, and returns the opcode, the body, and the (possibly regrown)
+// scratch buffer for the caller's next read. The body aliases scratch and is
+// valid only until the buffer's next use; the Rm* decoders all copy out, so
+// a caller that fully decodes each message before the next read is safe.
+// Scratch capacity above MaxFrame is trimmed on the way in so one huge
+// bootstrap checkpoint does not pin its buffer for the life of the stream.
+func ReadStreamMsgInto(r *bufio.Reader, scratch []byte) (op byte, body, scratch2 []byte, err error) {
+	if cap(scratch) > MaxFrame {
+		scratch = nil
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	// The length prefix is read into scratch too: a local array would escape
+	// to the heap through the io.ReadFull interface call (one allocation per
+	// message).
+	if cap(scratch) < 4 {
+		scratch = make([]byte, 512)
+	}
+	hb := scratch[:4]
+	if _, err := io.ReadFull(r, hb); err != nil {
+		return 0, nil, scratch, err
+	}
+	n := binary.BigEndian.Uint32(hb)
 	if n == 0 || n > MaxStreamMessage {
-		return 0, nil, fmt.Errorf("wire: bad stream message length %d", n)
+		return 0, nil, scratch, fmt.Errorf("wire: bad stream message length %d", n)
 	}
-	buf := make([]byte, n)
+	if uint32(cap(scratch)) < n {
+		scratch = make([]byte, n)
+	}
+	buf := scratch[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+		return 0, nil, scratch, err
 	}
-	return buf[0], buf[1:], nil
+	return buf[0], buf[1:n], scratch, nil
 }

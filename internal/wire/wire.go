@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"hybridgc/internal/core"
@@ -174,34 +175,74 @@ func (e *Error) Unwrap() error {
 	return nil
 }
 
+// maxPooledBuf caps the capacity of buffers kept in the frame and builder
+// pools. Occasional giant frames (bulk scans, checkpoints) would otherwise
+// pin megabytes in every pool slot forever.
+const maxPooledBuf = 64 << 10
+
+// framePool recycles the scratch buffer WriteFrame assembles frames in.
+type frameBuf struct{ b []byte }
+
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
 // WriteFrame writes one frame: the length prefix, the opcode/status byte,
-// and the body. It returns the total bytes written.
+// and the body, issued as a single Write call so an unbuffered writer (the
+// client's net.Conn) sends one packet per frame. The frame is assembled in
+// a pooled scratch buffer, so the steady-state cost is one copy and zero
+// allocations. It returns the total bytes written.
 func WriteFrame(w io.Writer, op byte, body []byte) (int, error) {
 	if len(body)+1 > MaxFrame {
 		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body)+1)
 	}
-	hdr := make([]byte, 5, 5+len(body))
-	binary.BigEndian.PutUint32(hdr, uint32(len(body)+1))
-	hdr[4] = op
-	n, err := w.Write(append(hdr, body...))
+	fb := framePool.Get().(*frameBuf)
+	buf := append(fb.b[:0], 0, 0, 0, 0, op)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)+1))
+	buf = append(buf, body...)
+	n, err := w.Write(buf)
+	if cap(buf) > maxPooledBuf {
+		buf = nil
+	}
+	fb.b = buf
+	framePool.Put(fb)
 	return n, err
 }
 
 // ReadFrame reads one frame, returning the opcode/status byte and the body.
+// The body is freshly allocated and owned by the caller; loops that can
+// recycle their read buffer should use ReadFrameInto.
 func ReadFrame(r io.Reader) (byte, []byte, error) {
-	var lb [4]byte
-	if _, err := io.ReadFull(r, lb[:]); err != nil {
-		return 0, nil, err
+	op, body, _, err := ReadFrameInto(r, nil)
+	return op, body, err
+}
+
+// ReadFrameInto reads one frame into scratch, growing it as needed, and
+// returns the opcode/status byte, the body, and the (possibly regrown)
+// scratch buffer for the caller to keep for the next read. The body aliases
+// scratch: it is valid only until the next use of the buffer, so callers
+// must finish decoding (Parser accessors copy out) before reading again.
+func ReadFrameInto(r io.Reader, scratch []byte) (byte, []byte, []byte, error) {
+	// The length prefix is read into scratch too: a local array would escape
+	// to the heap through the io.ReadFull interface call, costing one
+	// allocation per frame — the very thing this function exists to avoid.
+	if cap(scratch) < 4 {
+		scratch = make([]byte, 512)
 	}
-	n := binary.BigEndian.Uint32(lb[:])
+	hb := scratch[:4]
+	if _, err := io.ReadFull(r, hb); err != nil {
+		return 0, nil, scratch, err
+	}
+	n := binary.BigEndian.Uint32(hb)
 	if n < 1 || n > MaxFrame {
-		return 0, nil, fmt.Errorf("wire: frame length %d out of range", n)
+		return 0, nil, scratch, fmt.Errorf("wire: frame length %d out of range", n)
 	}
-	buf := make([]byte, n)
+	if uint32(cap(scratch)) < n {
+		scratch = make([]byte, n)
+	}
+	buf := scratch[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+		return 0, nil, scratch, err
 	}
-	return buf[0], buf[1:], nil
+	return buf[0], buf[1:n], scratch, nil
 }
 
 // --- body codec ---
@@ -259,8 +300,30 @@ func (w *Builder) Str(v string) *Builder {
 	return w
 }
 
-// Take returns the accumulated body.
+// Take returns the accumulated body. The slice aliases the builder's buffer
+// and is invalidated by Reset.
 func (w *Builder) Take() []byte { return w.b }
+
+// Reset empties the builder for reuse, keeping its buffer.
+func (w *Builder) Reset() *Builder { w.b = w.b[:0]; return w }
+
+// Len returns the accumulated body length.
+func (w *Builder) Len() int { return len(w.b) }
+
+var builderPool = sync.Pool{New: func() any { return new(Builder) }}
+
+// GetBuilder returns an empty pooled Builder. Return it with PutBuilder once
+// the body from Take has been written (WriteFrame copies it out, so putting
+// the builder back right after the write is safe).
+func GetBuilder() *Builder { return builderPool.Get().(*Builder).Reset() }
+
+// PutBuilder recycles a builder obtained from GetBuilder.
+func PutBuilder(b *Builder) {
+	if cap(b.b) > maxPooledBuf {
+		b.b = nil
+	}
+	builderPool.Put(b)
+}
 
 // Parser consumes wire values from a body with a sticky error: after the
 // first short read every subsequent accessor returns a zero value, and Err
