@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json bench-smoke clean
+.PHONY: all build vet test race check bench bench-json bench-smoke chaos-smoke clean
 
 all: check
 
@@ -18,7 +18,7 @@ test:
 # lock-free hash table, and the WAL/wire hot paths) with -short to keep CI
 # latency sane.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/txn/... ./internal/gc/... ./internal/mvcc/... ./internal/sql/... ./internal/server/... ./internal/client/... ./internal/repl/... ./internal/wal/... ./internal/wire/...
+	$(GO) test -race -short ./internal/core/... ./internal/txn/... ./internal/gc/... ./internal/mvcc/... ./internal/sql/... ./internal/server/... ./internal/client/... ./internal/repl/... ./internal/wal/... ./internal/wire/... ./internal/netfault/... ./internal/chaos/...
 
 check: vet build test race
 
@@ -34,6 +34,13 @@ bench-json:
 # cannot rot without failing the build.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit' -benchtime=1x . ./internal/mvcc ./internal/wire ./internal/wal
+
+# CI smoke: the deterministic network-chaos harness over a small fixed seed
+# set. Each seed runs the replicated cluster + bank workload under a seeded
+# nemesis and checks all four invariants (conservation, durability,
+# convergence, GC-horizon liveness); a failing seed prints how to reproduce.
+chaos-smoke:
+	$(GO) run ./cmd/chaos -seeds 1,2,3,4,5 -duration 1200ms
 
 clean:
 	$(GO) clean ./...

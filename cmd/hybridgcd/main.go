@@ -59,6 +59,9 @@ type options struct {
 	replicaOf   string
 	replicaID   string
 	upstreamTok string
+
+	replStale time.Duration
+	replWrite time.Duration
 }
 
 func main() {
@@ -78,6 +81,9 @@ func main() {
 		replicaOf   = flag.String("replica-of", "", "primary address; run as a read-only replica of it")
 		replicaID   = flag.String("replica-id", "replica", "stable replica identity reported to the primary")
 		upstreamTok = flag.String("upstream-token", "", "auth token for the primary (replica mode)")
+
+		replStale = flag.Duration("repl-stale-after", 0, "demote a silent replica after this long; replica: tolerated primary silence (0 selects defaults)")
+		replWrite = flag.Duration("repl-write-timeout", 0, "per-write deadline on replication streams (0 selects the default)")
 	)
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
@@ -106,6 +112,7 @@ func main() {
 		gcMode: m, soft: *soft, hard: *hard,
 		data: *data, sync: *syncWAL, ckptEvery: *ckptEvery,
 		replicaOf: *replicaOf, replicaID: *replicaID, upstreamTok: *upstreamTok,
+		replStale: *replStale, replWrite: *replWrite,
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -147,7 +154,10 @@ func runPrimary(opts options, sig <-chan os.Signal) {
 	srvCfg := server.Config{Token: opts.token, MaxConns: opts.maxConns, IdleTimeout: opts.idle}
 	var src *repl.Source
 	if opts.data != "" {
-		src, err = repl.NewSource(db, repl.SourceConfig{})
+		src, err = repl.NewSource(db, repl.SourceConfig{
+			StaleAfter:   opts.replStale,
+			WriteTimeout: opts.replWrite,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -226,9 +236,11 @@ func runReplica(opts options, sig <-chan os.Signal) {
 			db.GC().Start()
 		}
 		rep, err := repl.NewReplica(db, repl.ReplicaConfig{
-			Upstream:  opts.replicaOf,
-			Token:     opts.upstreamTok,
-			ReplicaID: opts.replicaID,
+			Upstream:     opts.replicaOf,
+			Token:        opts.upstreamTok,
+			ReplicaID:    opts.replicaID,
+			StallTimeout: opts.replStale,
+			WriteTimeout: opts.replWrite,
 		})
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,339 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"hybridgc/internal/client"
+	"hybridgc/internal/core"
+	"hybridgc/internal/gc"
+	"hybridgc/internal/netfault"
+	"hybridgc/internal/repl"
+	"hybridgc/internal/server"
+	"hybridgc/internal/ts"
+)
+
+// Timing profile for chaos runs: tight enough that partitions, demotions and
+// redials all happen inside a few seconds of wall clock, loose enough that a
+// healthy loopback exchange never trips a deadline.
+const (
+	heartbeatEvery  = 20 * time.Millisecond
+	reportEvery     = 20 * time.Millisecond
+	staleAfter      = 500 * time.Millisecond
+	streamWriteTO   = 300 * time.Millisecond
+	replicaStallTO  = 600 * time.Millisecond
+	clientDialTO    = 400 * time.Millisecond
+	clientRequestTO = 800 * time.Millisecond
+)
+
+// cluster is the system under test: one persistent primary, N replicas each
+// streaming through their own fault proxy, and a pooled client dialing the
+// primary through the client proxy.
+type cluster struct {
+	dir string
+
+	db  *core.DB // primary engine
+	src *repl.Source
+	srv *server.Server
+
+	clientInj   *netfault.Injector
+	clientProxy *netfault.Proxy
+	cl          *client.Client
+
+	replicas []*replicaNode
+
+	accounts ts.TableID
+	ledger   ts.TableID
+	acctRIDs []ts.RID
+	total    int64
+
+	served chan struct{}
+}
+
+// startCluster builds the whole topology and seeds the bank.
+func startCluster(opt Options) (*cluster, error) {
+	dir, err := os.MkdirTemp("", "chaos-*")
+	if err != nil {
+		return nil, err
+	}
+	c := &cluster{dir: dir, served: make(chan struct{})}
+	fail := func(err error) (*cluster, error) {
+		c.stop()
+		return nil, err
+	}
+
+	c.db, err = core.Open(engineConfig(dir, false))
+	if err != nil {
+		return fail(err)
+	}
+	c.db.GC().Start()
+	c.src, err = repl.NewSource(c.db, repl.SourceConfig{
+		HeartbeatEvery: heartbeatEvery,
+		StaleAfter:     staleAfter,
+		WriteTimeout:   streamWriteTO,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	c.srv, err = server.New(c.db, server.Config{
+		Repl:         c.src,
+		StatsHook:    c.src.PopulateStats,
+		WriteTimeout: clientRequestTO,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	go func() {
+		defer close(c.served)
+		_ = c.srv.Serve(ln)
+	}()
+	addr := ln.Addr().String()
+
+	// Seed the bank directly on the engine, before any network weather.
+	if err := c.seedBank(opt.Accounts); err != nil {
+		return fail(err)
+	}
+
+	// Client path: pooled client → injector-armed proxy → primary. The
+	// injector's per-I/O kills, stalls and partial writes ride on top of
+	// whatever the nemesis does to the proxy's gates.
+	c.clientInj = netfault.NewInjector(opt.Seed, netfault.Plan{
+		KillProb:         0.004,
+		StallProb:        0.004,
+		Stall:            100 * time.Millisecond,
+		PartialWriteProb: 0.002,
+	})
+	c.clientProxy, err = netfault.NewProxy(addr, c.clientInj)
+	if err != nil {
+		return fail(err)
+	}
+	c.cl, err = client.Dial(client.Config{
+		Addr:           c.clientProxy.Addr(),
+		MaxConns:       8,
+		DialTimeout:    clientDialTO,
+		RequestTimeout: clientRequestTO,
+		RedialBase:     10 * time.Millisecond,
+		RedialMax:      150 * time.Millisecond,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	// Replica paths: each replica dials the primary through its own proxy so
+	// the nemesis can partition them independently.
+	for i := 0; i < opt.Replicas; i++ {
+		n, err := startReplicaNode(fmt.Sprintf("r%d", i), addr)
+		if err != nil {
+			return fail(err)
+		}
+		c.replicas = append(c.replicas, n)
+	}
+	return c, nil
+}
+
+func engineConfig(dir string, readOnly bool) core.Config {
+	cfg := core.Config{
+		GC:                 gc.Periods{GT: 25 * time.Millisecond, TG: 75 * time.Millisecond, SI: 50 * time.Millisecond},
+		LongLivedThreshold: 50 * time.Millisecond,
+		ReadOnly:           readOnly,
+	}
+	if !readOnly {
+		cfg.Persistence = &core.Persistence{Dir: dir}
+	}
+	return cfg
+}
+
+// seedBank creates the accounts and ledger tables and funds every account.
+func (c *cluster) seedBank(accounts int) error {
+	var err error
+	if c.accounts, err = c.db.CreateTable("accounts"); err != nil {
+		return err
+	}
+	if c.ledger, err = c.db.CreateTable("ledger"); err != nil {
+		return err
+	}
+	const initial = 1000
+	for i := 0; i < accounts; i++ {
+		rid, err := insertLocal(c.db, c.accounts, formatBalance(initial))
+		if err != nil {
+			return err
+		}
+		c.acctRIDs = append(c.acctRIDs, rid)
+		c.total += initial
+	}
+	return nil
+}
+
+// healAll clears every proxy fault so the cluster can converge.
+func (c *cluster) healAll() {
+	c.clientProxy.Heal()
+	for _, n := range c.replicas {
+		n.proxy.Heal()
+	}
+}
+
+// stop tears the whole topology down; safe on a partially built cluster.
+func (c *cluster) stop() {
+	if c.cl != nil {
+		c.cl.Close()
+	}
+	if c.clientProxy != nil {
+		c.clientProxy.Close()
+	}
+	for _, n := range c.replicas {
+		n.stop()
+	}
+	if c.srv != nil {
+		c.srv.Shutdown(5 * time.Second)
+		<-c.served
+	}
+	if c.src != nil {
+		c.src.Close()
+	}
+	if c.db != nil {
+		c.db.GC().Stop()
+		c.db.Close()
+	}
+	if c.dir != "" {
+		os.RemoveAll(c.dir)
+	}
+}
+
+// replicaNode is one replica: a read-only engine streamed through a fault
+// proxy, with automatic re-bootstrap after demotion (the operator loop
+// hybridgcd runs, in-process). The engine handle swaps on re-bootstrap, so
+// readers take the RLock for the whole time they hold a cursor into it.
+type replicaNode struct {
+	id       string
+	upstream string // primary address, proxied
+	proxy    *netfault.Proxy
+
+	mu  sync.RWMutex
+	db  *core.DB
+	rep *repl.Replica
+
+	stopped      chan struct{}
+	done         chan struct{}
+	stopOnce     sync.Once
+	rebootstraps int64 // guarded by mu
+}
+
+func startReplicaNode(id, primaryAddr string) (*replicaNode, error) {
+	proxy, err := netfault.NewProxy(primaryAddr, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := &replicaNode{
+		id:       id,
+		upstream: proxy.Addr(),
+		proxy:    proxy,
+		stopped:  make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if err := n.buildEngine(); err != nil {
+		proxy.Close()
+		return nil, err
+	}
+	go n.run()
+	return n, nil
+}
+
+// buildEngine opens a fresh read-only engine and a Replica over it,
+// installing both under the write lock.
+func (n *replicaNode) buildEngine() error {
+	db, err := core.Open(engineConfig("", true))
+	if err != nil {
+		return err
+	}
+	db.GC().Start()
+	rep, err := repl.NewReplica(db, repl.ReplicaConfig{
+		Upstream:      n.upstream,
+		ReplicaID:     n.id,
+		ReportEvery:   reportEvery,
+		DialTimeout:   300 * time.Millisecond,
+		StallTimeout:  replicaStallTO,
+		WriteTimeout:  streamWriteTO,
+		ReconnectBase: 10 * time.Millisecond,
+		ReconnectMax:  200 * time.Millisecond,
+	})
+	if err != nil {
+		db.GC().Stop()
+		db.Close()
+		return err
+	}
+	n.mu.Lock()
+	n.db, n.rep = db, rep
+	n.mu.Unlock()
+	return nil
+}
+
+// run streams until stop, rebuilding the engine whenever the primary
+// requires a re-bootstrap (demotion, pruned segments, stale checkpoint).
+func (n *replicaNode) run() {
+	defer close(n.done)
+	for {
+		n.mu.RLock()
+		rep := n.rep
+		n.mu.RUnlock()
+		err := rep.Run()
+		select {
+		case <-n.stopped:
+			return
+		default:
+		}
+		if err == nil {
+			return // stopped concurrently
+		}
+		// ErrBootstrapRequired: discard the engine, start over empty.
+		n.mu.Lock()
+		old := n.db
+		n.rebootstraps++
+		n.mu.Unlock()
+		if err := n.buildEngine(); err != nil {
+			return
+		}
+		old.GC().Stop()
+		old.Close()
+	}
+}
+
+// withDB runs fn with the current engine handle held stable (no re-bootstrap
+// swap can close it while fn runs). fn must not block on the swapped lock.
+func (n *replicaNode) withDB(fn func(db *core.DB, rep *repl.Replica)) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	fn(n.db, n.rep)
+}
+
+func (n *replicaNode) rebootstrapCount() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.rebootstraps
+}
+
+func (n *replicaNode) stop() {
+	n.stopOnce.Do(func() {
+		close(n.stopped)
+		n.mu.RLock()
+		rep := n.rep
+		n.mu.RUnlock()
+		rep.Stop()
+		select {
+		case <-n.done:
+		case <-time.After(5 * time.Second):
+		}
+		n.proxy.Close()
+		n.mu.RLock()
+		db := n.db
+		n.mu.RUnlock()
+		db.GC().Stop()
+		db.Close()
+	})
+}

@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// nemesisStep is one drawn unit of weather: a fault kind, its victim (for
+// replica faults) and how long to hold it before healing.
+type nemesisStep struct {
+	kind   int
+	victim int
+	hold   time.Duration
+}
+
+const (
+	faultClientPartBoth = iota // symmetric client partition, bytes held
+	faultClientPartDown        // asymmetric: requests flow, responses stall
+	faultClientDrop            // drop every live client connection
+	faultClientRefuse          // refuse new client dials
+	faultReplicaPart           // symmetric partition of one replica's stream
+	faultReplicaDrop           // drop one replica's stream connection
+	faultCalm                  // no fault; let recovery paths recover
+	faultKinds
+)
+
+func (s nemesisStep) String() string {
+	var desc string
+	switch s.kind {
+	case faultClientPartBoth:
+		desc = "client partition both"
+	case faultClientPartDown:
+		desc = "client partition down"
+	case faultClientDrop:
+		desc = "client drop-links"
+	case faultClientRefuse:
+		desc = "client refuse"
+	case faultReplicaPart:
+		desc = fmt.Sprintf("replica %d partition both", s.victim)
+	case faultReplicaDrop:
+		desc = fmt.Sprintf("replica %d drop-links", s.victim)
+	default:
+		desc = "calm"
+	}
+	return fmt.Sprintf("%s for %s", desc, s.hold)
+}
+
+// drawSchedule derives the full nemesis schedule from the seed alone: the
+// same (seed, duration, replicas) always produces the same steps, so a
+// failing run's weather is reproducible from the printed seed.
+func drawSchedule(opt Options) []nemesisStep {
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x6e656d65)) // distinct stream from workers
+	var steps []nemesisStep
+	for elapsed := time.Duration(0); elapsed < opt.Duration; {
+		s := nemesisStep{
+			kind: rng.Intn(faultKinds),
+			hold: time.Duration(50+rng.Intn(200)) * time.Millisecond,
+		}
+		if s.kind == faultReplicaPart || s.kind == faultReplicaDrop {
+			s.victim = rng.Intn(opt.Replicas)
+		}
+		steps = append(steps, s)
+		elapsed += s.hold
+	}
+	return steps
+}
+
+// runNemesis executes the drawn schedule against the cluster: apply a fault,
+// hold it, heal that specific fault, draw the next. Only sleep overshoot
+// varies between runs of the same seed — the fault sequence does not.
+func runNemesis(c *cluster, steps []nemesisStep, rep *Report) {
+	for _, s := range steps {
+		var heal func()
+		switch s.kind {
+		case faultClientPartBoth:
+			c.clientProxy.SetPartition(true, true)
+			heal = func() { c.clientProxy.SetPartition(false, false) }
+		case faultClientPartDown:
+			c.clientProxy.SetPartition(false, true)
+			heal = func() { c.clientProxy.SetPartition(false, false) }
+		case faultClientDrop:
+			c.clientProxy.DropLinks()
+		case faultClientRefuse:
+			c.clientProxy.SetRefuse(true)
+			heal = func() { c.clientProxy.SetRefuse(false) }
+		case faultReplicaPart:
+			p := c.replicas[s.victim].proxy
+			p.SetPartition(true, true)
+			heal = func() { p.SetPartition(false, false) }
+		case faultReplicaDrop:
+			c.replicas[s.victim].proxy.DropLinks()
+		}
+		rep.Schedule = append(rep.Schedule, s.String())
+		time.Sleep(s.hold)
+		if heal != nil {
+			heal()
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hybridgc/internal/core"
@@ -35,10 +36,21 @@ type Config struct {
 	Token string
 	// MaxConns bounds the pool (<=0 selects 8).
 	MaxConns int
-	// DialTimeout bounds one dial+handshake (<=0 selects 5s).
+	// DialTimeout bounds one dial including its HELLO handshake (<=0
+	// selects 5s). A hung dial therefore holds its pool slot for at most
+	// this long; callers holding idle connections are never blocked by it.
 	DialTimeout time.Duration
-	// RequestTimeout bounds one request/response round trip (<=0 selects 30s).
+	// RequestTimeout bounds one request/response round trip (<=0 selects
+	// 30s). Every call sets it as the connection's write and read deadline,
+	// so a partitioned server surfaces a timeout rather than a hang.
 	RequestTimeout time.Duration
+	// RedialBase/RedialMax bound the background redialer's full-jitter
+	// exponential backoff after dial failures (<=0 select 50ms / 2s). While
+	// the backoff clock runs, calls that would need a fresh connection
+	// fail fast with core.ErrUnavailable (transient) instead of piling up
+	// on a dead address.
+	RedialBase time.Duration
+	RedialMax  time.Duration
 }
 
 func (c *Config) fill() {
@@ -51,16 +63,27 @@ func (c *Config) fill() {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.RedialBase <= 0 {
+		c.RedialBase = 50 * time.Millisecond
+	}
+	if c.RedialMax <= 0 {
+		c.RedialMax = 2 * time.Second
+	}
 }
 
 // Client is a pooled connection to one server.
 type Client struct {
 	cfg Config
 
-	mu     sync.Mutex
-	idle   []*Conn
-	closed bool
-	sem    chan struct{} // one slot per live or dialable connection
+	mu        sync.Mutex
+	idle      []*Conn
+	closed    bool
+	failN     int           // consecutive dial failures
+	downUntil time.Time     // fast-fail window after a dial failure
+	redialing bool          // background redialer running
+	sem       chan struct{} // one slot per live or dialable connection
+
+	redials atomic.Int64 // background redial attempts
 }
 
 // Dial creates a client and eagerly dials one connection so a bad address or
@@ -95,13 +118,16 @@ func (c *Client) Close() {
 	c.idle = nil
 }
 
-// dial opens and handshakes one connection.
+// dial opens and handshakes one connection. The whole exchange — TCP
+// connect plus HELLO round trip — runs under DialTimeout, so a peer that
+// accepts but never answers cannot pin the dialer (and its pool slot) for a
+// full RequestTimeout.
 func (c *Client) dial() (*Conn, error) {
 	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	cn := &Conn{nc: nc, br: bufio.NewReader(nc), timeout: c.cfg.RequestTimeout}
+	cn := &Conn{nc: nc, br: bufio.NewReader(nc), timeout: c.cfg.DialTimeout}
 	body := (&wire.Builder{}).Raw([]byte(wire.Magic)).U8(wire.Version).Str(c.cfg.Token)
 	r, err := cn.roundTrip(wire.OpHello, body.Take())
 	if err != nil {
@@ -112,11 +138,16 @@ func (c *Client) dial() (*Conn, error) {
 		nc.Close()
 		return nil, fmt.Errorf("client: server speaks protocol %d, want %d", got, wire.Version)
 	}
+	cn.timeout = c.cfg.RequestTimeout
 	return cn, nil
 }
 
 // get checks a connection out of the pool, dialing when the pool has free
-// capacity and no idle connection.
+// capacity and no idle connection. While the redial backoff clock runs (a
+// recent dial failed), calls that would need a fresh dial fail fast with
+// core.ErrUnavailable instead of queueing another doomed connect — the
+// background redialer owns recovery, and callers using idle connections are
+// unaffected.
 func (c *Client) get() (*Conn, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -137,14 +168,92 @@ func (c *Client) get() (*Conn, error) {
 		c.mu.Unlock()
 		return cn, nil
 	}
+	if fails, until := c.failN, c.downUntil; fails > 0 && time.Now().Before(until) {
+		c.mu.Unlock()
+		<-c.sem
+		return nil, fmt.Errorf("%w: %s down after %d failed dials, redialing",
+			core.ErrUnavailable, c.cfg.Addr, fails)
+	}
 	c.mu.Unlock()
 	cn, err := c.dial()
 	if err != nil {
 		<-c.sem
-		return nil, err
+		c.noteDialFailure()
+		return nil, fmt.Errorf("%w: %v", core.ErrUnavailable, err)
 	}
+	c.noteDialSuccess()
 	return cn, nil
 }
+
+// noteDialFailure records a failed dial, arms the fast-fail window with a
+// full-jitter exponential backoff, and makes sure exactly one background
+// redialer is working the address.
+func (c *Client) noteDialFailure() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.downUntil = time.Now().Add(core.Backoff(c.failN, c.cfg.RedialBase, c.cfg.RedialMax))
+	c.failN++
+	if !c.redialing {
+		c.redialing = true
+		go c.redialLoop()
+	}
+}
+
+// noteDialSuccess clears the backoff state.
+func (c *Client) noteDialSuccess() {
+	c.mu.Lock()
+	c.failN, c.downUntil = 0, time.Time{}
+	c.mu.Unlock()
+}
+
+// redialLoop restores connectivity after dial failures: it keeps attempting
+// one dial under the jittered backoff schedule until a connection
+// handshakes (parked in the idle pool for the next caller) or the client
+// closes. Exactly one loop runs at a time; it does not hold a pool slot, so
+// it never competes with callers for capacity.
+func (c *Client) redialLoop() {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.redialing = false
+			c.mu.Unlock()
+			return
+		}
+		attempt := c.failN
+		c.mu.Unlock()
+
+		core.BackoffSleep(core.Backoff(attempt, c.cfg.RedialBase, c.cfg.RedialMax))
+		c.redials.Add(1)
+		cn, err := c.dial()
+		c.mu.Lock()
+		if c.closed {
+			c.redialing = false
+			c.mu.Unlock()
+			if cn != nil {
+				cn.nc.Close()
+			}
+			return
+		}
+		if err != nil {
+			c.downUntil = time.Now().Add(core.Backoff(c.failN, c.cfg.RedialBase, c.cfg.RedialMax))
+			c.failN++
+			c.mu.Unlock()
+			continue
+		}
+		c.failN, c.downUntil = 0, time.Time{}
+		c.idle = append(c.idle, cn)
+		c.redialing = false
+		c.mu.Unlock()
+		return
+	}
+}
+
+// Redials reports background redial attempts — observability for tests and
+// the chaos harness.
+func (c *Client) Redials() int64 { return c.redials.Load() }
 
 // put returns a connection; broken connections are discarded so the next
 // get dials fresh.
@@ -172,6 +281,29 @@ func (c *Client) do(op byte, body []byte) (*wire.Parser, error) {
 	return r, err
 }
 
+// isTransportErr reports a connection-level failure — not a server-reported
+// error frame (*wire.Error), not pool shutdown, not the fast-fail path. Only
+// transport failures leave a request's outcome unknown.
+func isTransportErr(err error) bool {
+	if err == nil || errors.Is(err, ErrClosed) || errors.Is(err, core.ErrUnavailable) {
+		return false
+	}
+	var we *wire.Error
+	return !errors.As(err, &we)
+}
+
+// doIdempotent is do for request types that are safe to repeat (pure reads
+// with no session state): a transport failure poisons the connection and the
+// call transparently retries once on a fresh one. Writes never come through
+// here — a lost response leaves their outcome ambiguous.
+func (c *Client) doIdempotent(op byte, body []byte) (*wire.Parser, error) {
+	r, err := c.do(op, body)
+	if !isTransportErr(err) {
+		return r, err
+	}
+	return c.do(op, body)
+}
+
 // doB is do with a pooled request builder, released after the write
 // (WriteFrame copies the body out before sending).
 func (c *Client) doB(op byte, b *wire.Builder) (*wire.Parser, error) {
@@ -180,15 +312,17 @@ func (c *Client) doB(op byte, b *wire.Builder) (*wire.Parser, error) {
 	return r, err
 }
 
-// Ping round-trips a PING.
+// Ping round-trips a PING (idempotent: retried once across a broken
+// connection).
 func (c *Client) Ping() error {
-	_, err := c.do(wire.OpPing, nil)
+	_, err := c.doIdempotent(wire.OpPing, nil)
 	return err
 }
 
-// Stats fetches engine and service statistics.
+// Stats fetches engine and service statistics (idempotent: retried once
+// across a broken connection).
 func (c *Client) Stats() (wire.Stats, error) {
-	r, err := c.do(wire.OpStats, nil)
+	r, err := c.doIdempotent(wire.OpStats, nil)
 	if err != nil {
 		return wire.Stats{}, err
 	}
@@ -232,11 +366,13 @@ func (c *Client) CreateTable(name string) (ts.TableID, error) {
 	return tid, r.Err()
 }
 
-// TableIDs resolves engine table names.
+// TableIDs resolves engine table names (idempotent: retried once across a
+// broken connection).
 func (c *Client) TableIDs(names ...string) ([]ts.TableID, error) {
 	w := wire.GetBuilder()
 	wire.PutStrings(w, names)
-	r, err := c.doB(wire.OpTableIDs, w)
+	r, err := c.doIdempotent(wire.OpTableIDs, w.Take())
+	wire.PutBuilder(w)
 	if err != nil {
 		return nil, err
 	}
@@ -257,6 +393,10 @@ func (c *Client) Begin(transSI bool) (*Tx, error) {
 	}
 	if _, err := cn.roundTripB(wire.OpBegin, wire.GetBuilder().Bool(transSI)); err != nil {
 		c.put(cn)
+		// A broken BEGIN started nothing: safe to retry as a fresh txn.
+		if isTransportErr(err) {
+			err = fmt.Errorf("%w: %v", core.ErrTxnBroken, err)
+		}
 		return nil, err
 	}
 	return &Tx{c: c, cn: cn}, nil
@@ -273,6 +413,10 @@ func (c *Client) Query(sqlText string) (*Cursor, error) {
 	r, err := cn.roundTripB(wire.OpQOpen, wire.GetBuilder().Str(sqlText))
 	if err != nil {
 		c.put(cn)
+		// A broken open pinned nothing: safe to retry as a fresh cursor.
+		if isTransportErr(err) {
+			err = fmt.Errorf("%w: %v", core.ErrTxnBroken, err)
+		}
 		return nil, err
 	}
 	cu := &Cursor{c: c, cn: cn, id: r.U32(), snapTS: ts.CID(r.U64()), cols: wire.GetStrings(r)}
@@ -286,6 +430,15 @@ func (c *Client) Query(sqlText string) (*Cursor, error) {
 // Tx is a remote transaction bound to one pooled connection. Its record
 // operations mirror core.Tx, so code written against that shape (the TPC-C
 // driver) runs remotely unchanged.
+//
+// Failure classification: a transport failure on any operation before
+// COMMIT surfaces core.ErrTxnBroken — transient, because the server aborts
+// the session's transaction the moment its connection dies, so nothing of
+// the attempt survives and core.Retry can safely re-run the whole
+// transaction from scratch. A transport failure while COMMIT itself is in
+// flight surfaces core.ErrCommitAmbiguous — NOT transient, because the
+// commit may have become durable before the connection died, and a blind
+// re-run could apply the transaction twice.
 type Tx struct {
 	c    *Client
 	cn   *Conn
@@ -296,7 +449,16 @@ func (tx *Tx) round(op byte, body []byte) (*wire.Parser, error) {
 	if tx.done {
 		return nil, fmt.Errorf("client: transaction finished")
 	}
-	return tx.cn.roundTrip(op, body)
+	r, err := tx.cn.roundTrip(op, body)
+	if isTransportErr(err) {
+		// The connection (and with it the server-side transaction) is gone:
+		// finish the Tx now so the poisoned conn returns to the pool for
+		// discarding instead of waiting for a deferred Abort.
+		tx.done = true
+		tx.c.put(tx.cn)
+		return nil, fmt.Errorf("%w: %v", core.ErrTxnBroken, err)
+	}
+	return r, err
 }
 
 // roundB is round with a pooled request builder, released after the write.
@@ -368,7 +530,11 @@ func (tx *Tx) Scan(tid ts.TableID, fn func(rid ts.RID, img []byte) bool) error {
 	return r.Err()
 }
 
-// Commit finishes the transaction and returns the connection to the pool.
+// Commit finishes the transaction and returns the connection to the pool. A
+// transport failure here is the one genuinely ambiguous outcome in the
+// protocol — the commit may or may not have landed — and surfaces as the
+// non-transient core.ErrCommitAmbiguous; callers must reconcile before
+// retrying.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return fmt.Errorf("client: transaction finished")
@@ -376,6 +542,9 @@ func (tx *Tx) Commit() error {
 	_, err := tx.cn.roundTrip(wire.OpCommit, nil)
 	tx.done = true
 	tx.c.put(tx.cn)
+	if isTransportErr(err) {
+		return fmt.Errorf("%w: %v", core.ErrCommitAmbiguous, err)
+	}
 	return err
 }
 
@@ -410,13 +579,21 @@ func (cu *Cursor) SnapshotTS() ts.CID { return cu.snapTS }
 // Exhausted reports whether the server-side scan has passed the last row.
 func (cu *Cursor) Exhausted() bool { return cu.exhausted || cu.closed }
 
-// Fetch returns up to n rows and the server-side fetch statistics.
+// Fetch returns up to n rows and the server-side fetch statistics. A
+// transport failure surfaces core.ErrTxnBroken (transient): the server-side
+// cursor and its pinned snapshot died with the connection, so re-running the
+// query from scratch is safe — nothing of the old scan survives.
 func (cu *Cursor) Fetch(n int) ([][]wire.Datum, core.FetchStats, error) {
 	if cu.closed {
 		return nil, core.FetchStats{}, core.ErrCursorClosed
 	}
 	r, err := cu.cn.roundTripB(wire.OpQFetch, wire.GetBuilder().U32(cu.id).U32(uint32(n)))
 	if err != nil {
+		if isTransportErr(err) {
+			cu.closed = true
+			cu.c.put(cu.cn)
+			err = fmt.Errorf("%w: %v", core.ErrTxnBroken, err)
+		}
 		return nil, core.FetchStats{}, err
 	}
 	cu.exhausted = r.Bool()
@@ -427,13 +604,18 @@ func (cu *Cursor) Fetch(n int) ([][]wire.Datum, core.FetchStats, error) {
 }
 
 // Close releases the server-side cursor (and its pinned snapshot) and
-// returns the connection to the pool. Idempotent.
+// returns the connection to the pool. Idempotent. On a broken connection the
+// round trip is skipped — the server released the cursor when the connection
+// died.
 func (cu *Cursor) Close() error {
 	if cu.closed {
 		return nil
 	}
 	cu.closed = true
-	_, err := cu.cn.roundTripB(wire.OpQClose, wire.GetBuilder().U32(cu.id))
+	var err error
+	if !cu.cn.broken {
+		_, err = cu.cn.roundTripB(wire.OpQClose, wire.GetBuilder().U32(cu.id))
+	}
 	cu.c.put(cu.cn)
 	return err
 }

@@ -2,26 +2,103 @@ package core
 
 import (
 	"errors"
+	"math/rand"
 	"time"
 )
 
-// IsTransient reports whether err is a retriable contention failure: a
-// write-write conflict under first-committer-wins, or a write rejected under
-// version-space pressure (ErrVersionPressure). Both clear on their own —
-// the conflicting transaction finishes, the ladder frees version space — so
-// retrying with backoff is the right response. Durability failures
-// (ErrFailStop) and everything else are not transient: retrying them cannot
+// Connectivity sentinels. They originate in the network client (and any
+// future shard router), not the engine, but live here next to the engine's
+// transient set so IsTransient — and every retry loop written against it —
+// classifies local and remote failures through one table.
+var (
+	// ErrUnavailable reports that the service cannot be reached right now:
+	// the client's pool lost its connections and is redialing with backoff.
+	// Transient — the caller should back off and retry.
+	ErrUnavailable = errors.New("core: service unavailable")
+	// ErrTxnBroken reports that the connection carrying an open remote
+	// transaction died before the transaction reached COMMIT. The server
+	// aborts the transaction when its connection ends, so nothing of the
+	// attempt survives and re-running the whole transaction from scratch is
+	// safe. Transient.
+	ErrTxnBroken = errors.New("core: transaction connection broken")
+	// ErrCommitAmbiguous reports a connection failure while a COMMIT was in
+	// flight: the request may or may not have reached the server, so the
+	// transaction may or may not be durable. NOT transient — blindly
+	// re-running the transaction could apply it twice. Callers must
+	// reconcile (re-read, or use an idempotency key) before retrying.
+	ErrCommitAmbiguous = errors.New("core: commit outcome unknown")
+)
+
+// IsTransient reports whether err is a retriable failure: a write-write
+// conflict under first-committer-wins, a write rejected under version-space
+// pressure (ErrVersionPressure), a remote transaction torn down by a
+// connection failure before commit (ErrTxnBroken), or a temporarily
+// unreachable service (ErrUnavailable). All clear on their own — the
+// conflicting transaction finishes, the ladder frees version space, the
+// client redials — so retrying with backoff is the right response.
+// Durability failures (ErrFailStop), ambiguous commits (ErrCommitAmbiguous)
+// and everything else are not transient: retrying them cannot safely
 // succeed.
 func IsTransient(err error) bool {
-	return errors.Is(err, ErrWriteConflict) || errors.Is(err, ErrVersionPressure)
+	return errors.Is(err, ErrWriteConflict) || errors.Is(err, ErrVersionPressure) ||
+		errors.Is(err, ErrTxnBroken) || errors.Is(err, ErrUnavailable)
 }
 
-// Retry runs fn up to attempts times, sleeping an exponentially growing
-// backoff (starting at base, capped at 100ms) between tries, and retries only
-// while IsTransient reports the error retriable. It returns nil on the first
-// success, a non-transient error immediately, and the last transient error
-// once attempts are exhausted. fn must be safe to re-run from scratch: any
-// state it populates has to be reset at its top.
+// maxRetryWait caps Retry's exponential backoff ceiling.
+const maxRetryWait = 100 * time.Millisecond
+
+// Test seams: deterministic tests replace the sleeper and the jitter source
+// (see retry_test.go). Production always uses real sleeps and shared
+// math/rand — Retry runs concurrently on many goroutines and the whole point
+// of the jitter is that they draw different values.
+var (
+	retrySleep  = time.Sleep
+	retryJitter = rand.Float64
+)
+
+// RetryHooks overrides the sleep and jitter functions used by Retry and
+// Backoff, returning a restore func. Tests use it to make backoff schedules
+// deterministic and instantaneous; jitter must return values in [0, 1).
+func RetryHooks(sleep func(time.Duration), jitter func() float64) (restore func()) {
+	oldS, oldJ := retrySleep, retryJitter
+	retrySleep, retryJitter = sleep, jitter
+	return func() { retrySleep, retryJitter = oldS, oldJ }
+}
+
+// Backoff computes the wait after failure number attempt (0-based): full
+// jitter over an exponentially growing window starting at base and capped at
+// max. Centralized here so the client pool's redial schedule and Retry share
+// one jitter discipline and one test seam.
+func Backoff(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	window := base
+	for i := 0; i < attempt && window < max; i++ {
+		window *= 2
+	}
+	if window > max {
+		window = max
+	}
+	return time.Duration(retryJitter() * float64(window))
+}
+
+// BackoffSleep sleeps through the test seam (sleeps collapse to zero under
+// RetryHooks), so the client redialer's schedule is testable too.
+func BackoffSleep(d time.Duration) { retrySleep(d) }
+
+// Retry runs fn up to attempts times and retries only while IsTransient
+// reports the error retriable. Between tries it sleeps a full-jitter
+// backoff: a uniformly random fraction of an exponentially growing window
+// (starting at base, capped at 100ms). Deterministic doubling would make
+// concurrent retriers that conflicted together retry together — and
+// conflict again, as a thundering herd; the jitter decorrelates them. It
+// returns nil on the first success, a non-transient error immediately, and
+// the last transient error once attempts are exhausted. fn must be safe to
+// re-run from scratch: any state it populates has to be reset at its top.
 func Retry(attempts int, base time.Duration, fn func() error) error {
 	if attempts < 1 {
 		attempts = 1
@@ -30,15 +107,15 @@ func Retry(attempts int, base time.Duration, fn func() error) error {
 		base = time.Millisecond
 	}
 	var err error
-	wait := base
+	window := base
 	for i := 0; i < attempts; i++ {
 		if err = fn(); err == nil || !IsTransient(err) {
 			return err
 		}
 		if i < attempts-1 {
-			time.Sleep(wait)
-			if wait *= 2; wait > 100*time.Millisecond {
-				wait = 100 * time.Millisecond
+			retrySleep(time.Duration(retryJitter() * float64(window)))
+			if window *= 2; window > maxRetryWait {
+				window = maxRetryWait
 			}
 		}
 	}

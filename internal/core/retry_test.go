@@ -13,6 +13,9 @@ func TestIsTransient(t *testing.T) {
 	}{
 		{ErrWriteConflict, true},
 		{ErrVersionPressure, true},
+		{ErrTxnBroken, true},
+		{ErrUnavailable, true},
+		{ErrCommitAmbiguous, false},
 		{ErrFailStop, false},
 		{ErrRecordNotFound, false},
 		{errors.New("other"), false},
@@ -59,5 +62,74 @@ func TestRetryDoesNotRetryNonTransient(t *testing.T) {
 	})
 	if !errors.Is(err, hard) || calls != 1 {
 		t.Fatalf("err=%v calls=%d, want the hard error after 1 call", err, calls)
+	}
+}
+
+// TestRetryFullJitterSchedule pins the backoff discipline through the test
+// seam: the window doubles from base up to the 100ms cap, and each sleep is
+// the jitter fraction of the current window — not the deterministic doubling
+// that synchronized concurrent retriers into thundering herds.
+func TestRetryFullJitterSchedule(t *testing.T) {
+	var slept []time.Duration
+	restore := RetryHooks(
+		func(d time.Duration) { slept = append(slept, d) },
+		func() float64 { return 0.5 },
+	)
+	defer restore()
+
+	err := Retry(6, 20*time.Millisecond, func() error { return ErrWriteConflict })
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatal(err)
+	}
+	// Windows: 20, 40, 80, 100 (capped), 100 → sleeps at jitter 0.5.
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		50 * time.Millisecond, 50 * time.Millisecond,
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(slept), slept, len(want))
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (schedule %v)", i, slept[i], want[i], slept)
+		}
+	}
+}
+
+// TestRetryJitterDecorrelates: two retriers drawing different jitter values
+// sleep different schedules even with identical base and failures.
+func TestRetryJitterDecorrelates(t *testing.T) {
+	run := func(j float64) []time.Duration {
+		var slept []time.Duration
+		restore := RetryHooks(
+			func(d time.Duration) { slept = append(slept, d) },
+			func() float64 { return j },
+		)
+		defer restore()
+		_ = Retry(3, 10*time.Millisecond, func() error { return ErrWriteConflict })
+		return slept
+	}
+	a, b := run(0.25), run(0.75)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("schedules %v / %v, want 2 sleeps each", a, b)
+	}
+	for i := range a {
+		if a[i] == b[i] {
+			t.Fatalf("sleep %d identical (%v) for different jitter draws", i, a[i])
+		}
+	}
+}
+
+// TestBackoffWindowGrowth pins the shared Backoff helper: full jitter over a
+// doubling window, capped at max.
+func TestBackoffWindowGrowth(t *testing.T) {
+	restore := RetryHooks(func(time.Duration) {}, func() float64 { return 1.0 })
+	defer restore()
+	base, max := 50*time.Millisecond, 400*time.Millisecond
+	want := []time.Duration{50, 100, 200, 400, 400, 400}
+	for i, w := range want {
+		if got := Backoff(i, base, max); got != w*time.Millisecond {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
 	}
 }

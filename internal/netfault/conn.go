@@ -1,0 +1,92 @@
+package netfault
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedNet is the base error of injected connection failures, so call
+// sites (and tests) can tell injected network faults from real ones with
+// errors.Is.
+var ErrInjectedNet = errors.New("netfault: injected connection failure")
+
+// Wrap returns a net.Conn whose Read/Write consult the injector's plan. A
+// nil or never-injecting injector returns nc unchanged — the disabled path
+// adds no wrapper and no indirection, mirroring internal/fault's
+// zero-cost-when-disabled rule.
+func Wrap(nc net.Conn, in *Injector) net.Conn {
+	if in == nil || !in.plan.enabled() {
+		return nc
+	}
+	return &faultConn{Conn: nc, in: in}
+}
+
+// faultConn injects the plan's faults around the embedded connection. Kills
+// close the underlying conn so blocked peers notice, and latch: every
+// subsequent operation fails immediately, like a reset socket.
+type faultConn struct {
+	net.Conn
+	in     *Injector
+	killed atomic.Bool
+}
+
+func (c *faultConn) injected(op string) error {
+	return fmt.Errorf("%w: %s", ErrInjectedNet, op)
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	if c.killed.Load() {
+		return 0, c.injected("read on killed conn")
+	}
+	if c.in.armed.Load() {
+		d := c.in.draw(false)
+		if d.delay > 0 {
+			sleep(d.delay)
+		}
+		if d.stall > 0 {
+			sleep(d.stall)
+		}
+		if d.kill {
+			c.killed.Store(true)
+			c.Conn.Close()
+			return 0, c.injected("read killed")
+		}
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.killed.Load() {
+		return 0, c.injected("write on killed conn")
+	}
+	if c.in.armed.Load() {
+		d := c.in.draw(true)
+		if d.delay > 0 {
+			sleep(d.delay)
+		}
+		if d.stall > 0 {
+			sleep(d.stall)
+		}
+		if d.partial && len(b) > 1 {
+			// Ship a strict prefix, then die: the peer's reader sees a torn
+			// frame (length prefix promising more bytes than ever arrive).
+			n, _ := c.Conn.Write(b[:len(b)/2])
+			c.killed.Store(true)
+			c.Conn.Close()
+			return n, c.injected("partial write")
+		}
+		if d.kill {
+			c.killed.Store(true)
+			c.Conn.Close()
+			return 0, c.injected("write killed")
+		}
+	}
+	return c.Conn.Write(b)
+}
+
+// sleep is a seam for tests that assert injected delays without waiting for
+// them.
+var sleep = time.Sleep

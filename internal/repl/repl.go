@@ -40,6 +40,12 @@ var (
 	// with a Sleep option it models a stalled applier that falls behind the
 	// lag bound; with ReturnErr it kills the apply loop.
 	FPApplyStall = fault.Declare("repl/apply-stall", "before applying a replicated record")
+	// FPPinLeak disables the horizon-pin release on detach and demotion —
+	// a deliberately reverted hardening. The chaos harness's GC-liveness
+	// invariant must catch the regression: a dead replica's pin then holds
+	// the cluster-wide GC horizon forever. Exists only so tests can prove
+	// the harness detects the class of bug it was built for.
+	FPPinLeak = fault.Declare("repl/pin-leak", "skip horizon-pin release on detach/demote")
 )
 
 // ErrBootstrapRequired reports that the replica cannot continue from its

@@ -32,6 +32,11 @@ type ReplicaConfig struct {
 	// heartbeats normally arrive every HeartbeatEvery — before the stream
 	// is torn down and redialed (<=0 selects 10s).
 	StallTimeout time.Duration
+	// WriteTimeout bounds each report write (<=0 selects StallTimeout). A
+	// partition toward the primary blocks the reporter once buffers fill;
+	// this deadline tears the stream down so the replica redials instead of
+	// silently ceasing to report while appearing alive locally.
+	WriteTimeout time.Duration
 	// ReconnectBase/ReconnectMax bound the redial backoff
 	// (<=0 select 50ms / 2s).
 	ReconnectBase time.Duration
@@ -50,6 +55,9 @@ func (c *ReplicaConfig) fill() {
 	}
 	if c.StallTimeout <= 0 {
 		c.StallTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = c.StallTimeout
 	}
 	if c.ReconnectBase <= 0 {
 		c.ReconnectBase = 50 * time.Millisecond
@@ -339,7 +347,7 @@ func (r *Replica) reporter(nc net.Conn, bw *bufio.Writer, done chan<- struct{}) 
 		}
 		b := &wire.Builder{}
 		rep.Encode(b)
-		_ = nc.SetWriteDeadline(time.Now().Add(r.cfg.StallTimeout))
+		_ = nc.SetWriteDeadline(time.Now().Add(r.cfg.WriteTimeout))
 		return wire.WriteStreamMsg(bw, wire.RmReport, b.Take())
 	}
 	if send() != nil {

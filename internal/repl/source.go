@@ -32,6 +32,14 @@ type SourceConfig struct {
 	// HeartbeatEvery paces stream heartbeats and the lag/drain checks
 	// (<=0 selects 500ms).
 	HeartbeatEvery time.Duration
+	// WriteTimeout bounds every stream write — records, heartbeats, end
+	// messages, and refusal frames (<=0 selects 5s). A partitioned replica
+	// stops draining its socket; once the kernel buffers fill, the next
+	// write blocks until this deadline fires and the stream tears down,
+	// releasing the replica's horizon pin immediately (the sweeper demotes
+	// it after StaleAfter). Without this bound a partition could pin the GC
+	// horizon for as long as the partition lasts.
+	WriteTimeout time.Duration
 	// SubscriptionBuffer sizes the live-tail channel per stream (<=0
 	// selects the wal default, 4096). A stream that cannot drain it is torn
 	// down rather than ever blocking commits.
@@ -47,6 +55,9 @@ func (c *SourceConfig) fill() {
 	}
 	if c.HeartbeatEvery <= 0 {
 		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
 	}
 }
 
@@ -172,14 +183,25 @@ func (s *Source) sweeper() {
 // demoteLocked drops everything the replica holds over the primary — its
 // horizon pin and its segment floor — and marks it for re-bootstrap.
 func (s *Source) demoteLocked(st *replicaState) {
-	if st.pin != nil {
-		st.pin.Release()
-		st.pin = nil
-		st.pinTS = 0
-	}
+	s.releasePinLocked(st)
 	st.hasFloor = false
 	st.demoted = true
 	s.demotions.Add(1)
+}
+
+// releasePinLocked drops the replica's horizon pin. FPPinLeak gates the
+// release so tests can re-introduce the "dead peer pins the GC horizon
+// forever" bug and prove the chaos harness detects it.
+func (s *Source) releasePinLocked(st *replicaState) {
+	if st.pin == nil {
+		return
+	}
+	if fault.Hit(FPPinLeak) != nil {
+		return
+	}
+	st.pin.Release()
+	st.pin = nil
+	st.pinTS = 0
 }
 
 // admit registers the stream under Source.mu and sets the replica's initial
@@ -224,18 +246,14 @@ func (s *Source) detach(st *replicaState) {
 	defer s.mu.Unlock()
 	st.connected = false
 	st.lastReport = time.Now()
-	if st.pin != nil {
-		st.pin.Release()
-		st.pin = nil
-		st.pinTS = 0
-	}
+	s.releasePinLocked(st)
 }
 
 // refuse answers the OpReplStream request with an error frame (the stream
 // never started, so the request/response protocol still applies).
-func refuse(nc net.Conn, bw *bufio.Writer, err error) error {
+func (s *Source) refuse(nc net.Conn, bw *bufio.Writer, err error) error {
 	body := (&wire.Builder{}).U16(wire.ErrorCode(err)).Str(err.Error()).Take()
-	_ = nc.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	_ = nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	if _, werr := wire.WriteFrame(bw, wire.StErr, body); werr == nil {
 		_ = bw.Flush()
 	}
@@ -248,11 +266,11 @@ func refuse(nc net.Conn, bw *bufio.Writer, err error) error {
 // replica's reports.
 func (s *Source) ServeStream(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, req wire.ReplStreamRequest, draining func() bool) error {
 	if req.ReplicaID == "" {
-		return refuse(nc, bw, fmt.Errorf("%w: empty replica id", wire.ErrBadRequest))
+		return s.refuse(nc, bw, fmt.Errorf("%w: empty replica id", wire.ErrBadRequest))
 	}
 	st, err := s.admit(req)
 	if err != nil {
-		return refuse(nc, bw, err)
+		return s.refuse(nc, bw, err)
 	}
 	defer s.detach(st)
 
@@ -273,13 +291,13 @@ func (s *Source) ServeStream(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, re
 			}
 		}
 		if err != nil {
-			return refuse(nc, bw, fmt.Errorf("repl: checkpoint for bootstrap: %w", err))
+			return s.refuse(nc, bw, fmt.Errorf("repl: checkpoint for bootstrap: %w", err))
 		}
 	}
 
 	segs, err := wal.Segments(s.db.PersistDir())
 	if err != nil {
-		return refuse(nc, bw, err)
+		return s.refuse(nc, bw, err)
 	}
 	startSeg := wal.LSN(req.StartLSN).Segment()
 	if !bootstrap {
@@ -296,7 +314,7 @@ func (s *Source) ServeStream(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, re
 			s.mu.Lock()
 			st.hasFloor = false // the floor admit set points at nothing
 			s.mu.Unlock()
-			return refuse(nc, bw, wire.ErrReplTooOld)
+			return s.refuse(nc, bw, wire.ErrReplTooOld)
 		}
 	}
 
@@ -524,9 +542,12 @@ func (s *Source) handleReport(st *replicaState, rep wire.ReplReport) {
 	}
 }
 
-// send writes one stream message under a write deadline.
+// send writes one stream message under the configured write deadline —
+// this is the partition trigger: once a non-draining peer fills the socket
+// buffers, the deadline fires, the stream tears down, and detach releases
+// the replica's horizon pin.
 func (s *Source) send(nc net.Conn, bw *bufio.Writer, op byte, body []byte) error {
-	_ = nc.SetWriteDeadline(time.Now().Add(s.cfg.StaleAfter))
+	_ = nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	return wire.WriteStreamMsg(bw, op, body)
 }
 

@@ -513,3 +513,67 @@ func TestTPCCLoopback(t *testing.T) {
 		t.Fatalf("stats did not record the run: %+v", st)
 	}
 }
+
+// TestSlowReaderWriteTimeoutReapsConn is the write-side counterpart of the
+// abrupt-disconnect property: a peer that stays connected but stops reading
+// (a stalled or partitioned client) backpressures the server's response
+// writes until WriteTimeout fires; the connection is then reaped and every
+// session resource — the open cursor and its pinned snapshot — is released,
+// so a slow reader cannot pin the GC horizon past the write deadline.
+func TestSlowReaderWriteTimeoutReapsConn(t *testing.T) {
+	srv, db, addr := newTestServer(t, Config{WriteTimeout: 300 * time.Millisecond})
+
+	cl, err := client.Dial(client.Config{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Exec("CREATE TABLE t (id INT, pad TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	pad := make([]byte, 16<<10)
+	for i := range pad {
+		pad[i] = 'x'
+	}
+	for i := 0; i < 32; i++ { // ~512KB per full SELECT response
+		if _, err := cl.Exec("INSERT INTO t VALUES (1, '" + string(pad) + "')"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The slow reader: open a cursor (pinning a snapshot), then pipeline
+	// SELECTs whose responses it never reads.
+	rc := dialRaw(t, addr)
+	rc.hello(t, "")
+	rc.send(t, wire.OpQOpen, (&wire.Builder{}).Str("SELECT id FROM t").Take())
+	if status, _ := rc.recv(t); status != wire.StOK {
+		t.Fatal("QOPEN failed")
+	}
+	if srv.cursorsOpen.Load() != 1 {
+		t.Fatalf("cursorsOpen = %d", srv.cursorsOpen.Load())
+	}
+	if _, ok := db.Manager().Monitor().OldestTS(); !ok {
+		t.Fatal("cursor snapshot not registered with the monitor")
+	}
+	for i := 0; i < 20; i++ { // ~10MB of pending responses: far past any socket buffer
+		rc.send(t, wire.OpExec, (&wire.Builder{}).Str("SELECT id, pad FROM t").Take())
+	}
+
+	// Do not read. The server must give up within WriteTimeout and reap the
+	// session: cursor closed, snapshot released, horizon free to advance.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, pinned := db.Manager().Monitor().OldestTS()
+		if srv.cursorsOpen.Load() == 0 && !pinned {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slow reader still pins the horizon: open=%d pinned=%v",
+				srv.cursorsOpen.Load(), pinned)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.cursorsReaped.Value() == 0 {
+		t.Fatal("reap counter did not move")
+	}
+}

@@ -11,6 +11,9 @@ import (
 // ReadFrameInto (caller-recycled read buffer) — to zero. A regression here
 // means per-request garbage on every server round trip.
 func TestFrameZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
 	body := bytes.Repeat([]byte{0xAB}, 256)
 	buf := bytes.NewBuffer(make([]byte, 0, 4096))
 	var scratch []byte
@@ -47,6 +50,9 @@ func TestFrameZeroAllocSteadyState(t *testing.T) {
 // TestBuilderPoolZeroAlloc pins the pooled request-builder cycle (the
 // client's per-request body assembly) to zero steady-state allocations.
 func TestBuilderPoolZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
 	for i := 0; i < 4; i++ {
 		b := GetBuilder()
 		b.U32(7).U64(42).Str("warmup")
@@ -69,6 +75,9 @@ func TestBuilderPoolZeroAlloc(t *testing.T) {
 // path (ReadStreamMsgInto with a recycled buffer) to zero steady-state
 // allocations.
 func TestStreamMsgZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
 	// Pre-encode a stream of identical messages to read back.
 	var raw bytes.Buffer
 	payload := bytes.Repeat([]byte{0xCD}, 128)

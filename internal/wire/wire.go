@@ -92,6 +92,7 @@ const (
 	ECodeReadOnly
 	ECodeReplTooOld
 	ECodeReplDemoted
+	ECodeUnavailable
 )
 
 // Protocol-level sentinels (the engine ones live in internal/core).
@@ -140,6 +141,10 @@ var codeTable = []struct {
 	{ECodeReadOnly, core.ErrReadOnly},
 	{ECodeReplTooOld, ErrReplTooOld},
 	{ECodeReplDemoted, ErrReplDemoted},
+	// Connectivity classification (core.IsTransient's remote half): a proxy
+	// or shard router can answer for an unreachable backend with a code that
+	// rehydrates into the transient core.ErrUnavailable.
+	{ECodeUnavailable, core.ErrUnavailable},
 }
 
 // ErrorCode maps an error to its wire code (ECodeGeneric when unknown).
