@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json bench-smoke chaos-smoke clean
+.PHONY: all build vet test race check bench bench-json bench-smoke chaos-smoke shard-smoke clean
 
 all: check
 
@@ -15,10 +15,10 @@ test:
 
 # Race-check the concurrency-heavy packages (group commit, GC, version
 # space, pressure controller, the network service layer, replication, the
-# lock-free hash table, and the WAL/wire hot paths) with -short to keep CI
-# latency sane.
+# sharded engine and its 2PC path, the lock-free hash table, and the
+# WAL/wire hot paths) with -short to keep CI latency sane.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/txn/... ./internal/gc/... ./internal/mvcc/... ./internal/sql/... ./internal/server/... ./internal/client/... ./internal/repl/... ./internal/wal/... ./internal/wire/... ./internal/netfault/... ./internal/chaos/...
+	$(GO) test -race -short ./internal/core/... ./internal/txn/... ./internal/gc/... ./internal/mvcc/... ./internal/sql/... ./internal/server/... ./internal/client/... ./internal/repl/... ./internal/wal/... ./internal/wire/... ./internal/netfault/... ./internal/chaos/... ./internal/shard/...
 
 check: vet build test race
 
@@ -33,7 +33,7 @@ bench-json:
 # CI smoke: one iteration of every hot-path micro-benchmark, so bench code
 # cannot rot without failing the build.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit' -benchtime=1x . ./internal/mvcc ./internal/wire ./internal/wal
+	$(GO) test -run '^$$' -bench 'BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit|BenchmarkShardedCommit' -benchtime=1x . ./internal/mvcc ./internal/wire ./internal/wal ./internal/shard
 
 # CI smoke: the deterministic network-chaos harness over a small fixed seed
 # set. Each seed runs the replicated cluster + bank workload under a seeded
@@ -41,6 +41,13 @@ bench-smoke:
 # convergence, GC-horizon liveness); a failing seed prints how to reproduce.
 chaos-smoke:
 	$(GO) run ./cmd/chaos -seeds 1,2,3,4,5 -duration 1200ms
+
+# CI smoke: TPC-C over loopback against `hybridgcd -shards 4` through the
+# shard-aware client, ending in the full consistency check. Proves the
+# sharded server path (HELLO shard map, pinned single-shard transactions,
+# cross-shard 2PC) end to end.
+shard-smoke:
+	bash ./scripts/shard-smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -32,9 +32,13 @@ import (
 
 // microPattern selects the hot-path micro-benchmarks named in the baseline
 // contract; microPackages is where they live.
-const microPattern = "BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit"
+const microPattern = "BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit|BenchmarkShardedCommit"
 
-var microPackages = []string{".", "./internal/mvcc", "./internal/wire", "./internal/wal"}
+var microPackages = []string{".", "./internal/mvcc", "./internal/wire", "./internal/wal", "./internal/shard"}
+
+// benchShards is the shard count BenchmarkShardedCommit scales to (its
+// shards=N sub-benchmark); recorded in the baseline metadata.
+const benchShards = 4
 
 // Micro is one parsed `go test -bench` result line.
 type Micro struct {
@@ -59,13 +63,19 @@ type FigureJSON struct {
 	Series []SeriesJSON `json:"series,omitempty"`
 }
 
-// Baseline is the whole document.
+// Baseline is the whole document. GOMAXPROCS, CPUs and Shards pin down the
+// parallelism context the numbers were taken under — shard-scaling results
+// are meaningless without knowing how many cores the run actually had.
 type Baseline struct {
-	Date      string       `json:"date"`
-	GoVersion string       `json:"go"`
-	GOOS      string       `json:"goos"`
-	GOARCH    string       `json:"goarch"`
-	CPUs      int          `json:"cpus"`
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	CPUs       int          `json:"cpus"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	// Shards is the shard count the sharded benchmarks scale up to
+	// (BenchmarkShardedCommit runs shards=1 vs shards=N).
+	Shards    int          `json:"shards"`
 	BenchTime string       `json:"benchtime"`
 	Quick     bool         `json:"quick_figures"`
 	Micro     []Micro      `json:"micro"`
@@ -88,13 +98,15 @@ func main() {
 	}
 
 	b := &Baseline{
-		Date:      day,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		BenchTime: *benchtime,
-		Quick:     *quick,
+		Date:       day,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Shards:     benchShards,
+		BenchTime:  *benchtime,
+		Quick:      *quick,
 	}
 
 	micro, err := runMicro(*benchtime)

@@ -166,6 +166,9 @@ func monitorRemote(addr, token string, duration, interval time.Duration) {
 				fmt.Sprintf("%.1fs", time.Since(start).Seconds()),
 				st.VersionsLive, st.ActiveCIDRange, fmtBytes(st.VersionsLiveBytes),
 				st.VersionsReclaimed, fmtRemotePressure(st))
+			for _, line := range fmtShards(st) {
+				fmt.Println(line)
+			}
 			for _, line := range fmtRepl(st) {
 				fmt.Println(line)
 			}
@@ -176,12 +179,38 @@ func monitorRemote(addr, token string, duration, interval time.Duration) {
 			}
 			fmt.Printf("\nfinal: versions=%d reclaimed=%d migrated=%d cursors open=%d failstop=%v\n",
 				st.VersionsLive, st.VersionsReclaimed, st.VersionsMigrated, st.CursorsOpen, st.FailStop)
+			for _, line := range fmtShards(st) {
+				fmt.Println(line)
+			}
 			for _, line := range fmtRepl(st) {
 				fmt.Println(line)
 			}
 			return
 		}
 	}
+}
+
+// fmtShards renders one row per shard of a sharded server, under the
+// aggregate indicator row. The slice is empty for a single-node server, so
+// the classic display is untouched. GC horizons are per-shard by design —
+// seeing shard 2's horizon stall under a pinned cursor while the others keep
+// advancing is the point of the view.
+func fmtShards(st wire.Stats) []string {
+	if len(st.Shards) == 0 {
+		return nil
+	}
+	lines := make([]string, 0, len(st.Shards))
+	for i, s := range st.Shards {
+		flag := ""
+		if s.FailStop {
+			flag = " FAILSTOP"
+		}
+		lines = append(lines, fmt.Sprintf(
+			"  shard %-2d live=%-10d horizon=%-10d cid=%-10d reclaimed=%-10d snaps=%-4d committed=%d%s",
+			i, s.VersionsLive, s.GlobalHorizon, s.CurrentCID, s.VersionsReclaimed,
+			s.ActiveSnapshots, s.TxnsCommitted, flag))
+	}
+	return lines
 }
 
 // fmtRepl renders the replication state carried in a remote STATS payload:

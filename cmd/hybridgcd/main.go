@@ -38,10 +38,12 @@ import (
 	"time"
 
 	"hybridgc/internal/core"
+	"hybridgc/internal/engine"
 	"hybridgc/internal/gc"
 	"hybridgc/internal/profiling"
 	"hybridgc/internal/repl"
 	"hybridgc/internal/server"
+	"hybridgc/internal/shard"
 	"hybridgc/internal/workload"
 )
 
@@ -52,6 +54,7 @@ type options struct {
 	idle       time.Duration
 	gcMode     workload.Mode
 	soft, hard int64
+	shards     int
 
 	data        string
 	sync        bool
@@ -73,6 +76,7 @@ func main() {
 		mode     = flag.String("gc", "hg", "garbage collection mode: none, gt, gttg, hg")
 		soft     = flag.Int64("soft", 0, "version-budget soft watermark (0 disables the budget)")
 		hard     = flag.Int64("hard", 0, "version-budget hard watermark (0 derives 2*soft)")
+		shards   = flag.Int("shards", 1, "engine shard count; >1 serves a horizontally sharded engine with per-shard WALs, GC and horizons")
 
 		data      = flag.String("data", "", "persistence directory (WAL + checkpoints); enables serving replicas")
 		syncWAL   = flag.Bool("sync", false, "fsync the WAL on every commit group")
@@ -109,10 +113,14 @@ func main() {
 	defer profiling.Stop()
 	opts := options{
 		addr: *addr, token: *token, maxConns: *maxConns, idle: *idle,
-		gcMode: m, soft: *soft, hard: *hard,
+		gcMode: m, soft: *soft, hard: *hard, shards: *shards,
 		data: *data, sync: *syncWAL, ckptEvery: *ckptEvery,
 		replicaOf: *replicaOf, replicaID: *replicaID, upstreamTok: *upstreamTok,
 		replStale: *replStale, replWrite: *replWrite,
+	}
+	if opts.shards > 1 && opts.replicaOf != "" {
+		fmt.Fprintln(os.Stderr, "hybridgcd: -shards > 1 is incompatible with -replica-of (replicas are single-node)")
+		os.Exit(2)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -139,22 +147,46 @@ func engineConfig(opts options, readOnly bool) core.Config {
 	return cfg
 }
 
-// runPrimary serves a standalone or primary engine until a signal drains it.
+// runPrimary serves a standalone, primary or sharded engine until a signal
+// drains it.
 func runPrimary(opts options, sig <-chan os.Signal) {
-	db, err := core.Open(engineConfig(opts, false))
-	if err != nil {
-		fatal(err)
+	var (
+		eng        engine.Engine
+		checkpoint func() error
+	)
+	if opts.shards > 1 {
+		cl, err := shard.Open(shard.Config{
+			Shards:    opts.shards,
+			Configure: func(int) core.Config { return engineConfig(opts, false) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		eng, checkpoint = cl, cl.Checkpoint
+	} else {
+		db, err := core.Open(engineConfig(opts, false))
+		if err != nil {
+			fatal(err)
+		}
+		eng, checkpoint = engine.NewSingle(db), db.Checkpoint
 	}
-	defer db.Close()
+	defer eng.Close()
 	if opts.gcMode != workload.ModeNone {
-		db.GC().Start()
-		defer db.GC().Stop()
+		for i := 0; i < eng.Shards(); i++ {
+			g := eng.Shard(i).GC()
+			g.Start()
+			defer g.Stop()
+		}
 	}
 
 	srvCfg := server.Config{Token: opts.token, MaxConns: opts.maxConns, IdleTimeout: opts.idle}
 	var src *repl.Source
-	if opts.data != "" {
-		src, err = repl.NewSource(db, repl.SourceConfig{
+	if opts.data != "" && opts.shards > 1 {
+		fmt.Println("hybridgcd: sharded engine persists per-shard WALs; serving replicas is single-node only and stays disabled")
+	}
+	if opts.data != "" && opts.shards <= 1 {
+		var err error
+		src, err = repl.NewSource(eng.Shard(0), repl.SourceConfig{
 			StaleAfter:   opts.replStale,
 			WriteTimeout: opts.replWrite,
 		})
@@ -165,7 +197,7 @@ func runPrimary(opts options, sig <-chan os.Signal) {
 		srvCfg.Repl = src
 		srvCfg.StatsHook = src.PopulateStats
 	}
-	srv, err := server.New(db, srvCfg)
+	srv, err := server.NewEngine(eng, srvCfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -174,7 +206,10 @@ func runPrimary(opts options, sig <-chan os.Signal) {
 		fatal(err)
 	}
 	role := "standalone"
-	if src != nil {
+	switch {
+	case opts.shards > 1:
+		role = fmt.Sprintf("sharded x%d", opts.shards)
+	case src != nil:
 		role = "primary"
 	}
 	fmt.Printf("hybridgcd: listening on %s (role=%s gc=%s maxconns=%d)\n", ln.Addr(), role, opts.gcMode, opts.maxConns)
@@ -189,7 +224,7 @@ func runPrimary(opts options, sig <-chan os.Signal) {
 				case <-stopCkpt:
 					return
 				case <-t.C:
-					if err := db.Checkpoint(); err != nil {
+					if err := checkpoint(); err != nil {
 						fmt.Fprintln(os.Stderr, "hybridgcd: checkpoint:", err)
 					}
 				}

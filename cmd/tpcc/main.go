@@ -25,8 +25,10 @@ import (
 
 	"hybridgc/internal/client"
 	"hybridgc/internal/core"
+	"hybridgc/internal/engine"
 	"hybridgc/internal/gc"
 	"hybridgc/internal/profiling"
+	"hybridgc/internal/shard"
 	"hybridgc/internal/tpcc"
 	"hybridgc/internal/workload"
 )
@@ -42,6 +44,8 @@ func main() {
 		cursor     = flag.Bool("cursor", false, "hold a long-duration cursor on STOCK (the paper's GC blocker)")
 		check      = flag.Bool("check", true, "run TPC-C consistency checks at the end")
 		seed       = flag.Int64("seed", 1, "random seed")
+		shards     = flag.Int("shards", 1, "run the in-process engine sharded N ways (local mode only)")
+		cross      = flag.Bool("cross", false, "enable TPC-C remote clauses (15% remote Payment, 1% remote supply per NewOrder line); auto-enabled when sharded")
 		addr       = flag.String("addr", "", "hybridgcd address; empty runs the engine in-process")
 		token      = flag.String("token", "", "auth token for -addr")
 		checkAddr  = flag.String("check-addr", "", "read-only endpoint (e.g. a replica) to run the consistency check against")
@@ -84,28 +88,49 @@ func main() {
 	}
 	var (
 		driver *tpcc.Driver
-		db     *core.DB
+		eng    engine.Engine
 		cl     *client.Client
 		err    error
 	)
 	if remote {
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "-shards is local-only; a remote engine's shard count is the server's -shards")
+			os.Exit(2)
+		}
 		cl, err = client.Dial(client.Config{Addr: *addr, Token: *token, MaxConns: *warehouses + 2})
 		if err != nil {
 			fatal(err)
 		}
 		defer cl.Close()
+		cfg.CrossWarehouse = *cross || cl.ShardCount() > 1
 		driver, err = tpcc.NewWithBackend(tpcc.RemoteBackend(cl), cfg)
 	} else {
 		base := gc.Periods{GT: 50 * time.Millisecond, TG: 150 * time.Millisecond, SI: 500 * time.Millisecond}
-		db, err = core.Open(core.Config{
+		engCfg := core.Config{
 			GC:                 m.Periods(base),
 			LongLivedThreshold: 100 * time.Millisecond,
-		})
-		if err != nil {
-			fatal(err)
 		}
-		defer db.Close()
-		driver, err = tpcc.New(db, cfg)
+		if *shards > 1 {
+			var clu *shard.Cluster
+			clu, err = shard.Open(shard.Config{
+				Shards:    *shards,
+				Configure: func(int) core.Config { return engCfg },
+			})
+			if err != nil {
+				fatal(err)
+			}
+			eng = clu
+		} else {
+			var db *core.DB
+			db, err = core.Open(engCfg)
+			if err != nil {
+				fatal(err)
+			}
+			eng = engine.NewSingle(db)
+		}
+		defer eng.Close()
+		cfg.CrossWarehouse = *cross || *shards > 1
+		driver, err = tpcc.NewWithBackend(tpcc.EngineBackend(eng), cfg)
 	}
 	if err != nil {
 		fatal(err)
@@ -117,21 +142,26 @@ func main() {
 	}
 
 	if !remote && m != workload.ModeNone {
-		db.GC().Start()
+		for i := 0; i < eng.Shards(); i++ {
+			eng.Shard(i).GC().Start()
+		}
 	}
-	var cur *core.Cursor
+	var cur engine.Cursor
 	if *cursor {
-		cur, err = db.OpenCursor(driver.StockTableID())
+		cur, err = eng.OpenCursor(driver.StockTableID())
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("long-duration cursor opened on STOCK at snapshot %d\n", cur.SnapshotTS())
 	}
 
-	startStmts := statements(db, cl)
-	if remote {
+	startStmts := statements(eng, cl)
+	switch {
+	case remote:
 		fmt.Printf("running %v against %s...\n", *duration, *addr)
-	} else {
+	case eng.Shards() > 1:
+		fmt.Printf("running %v with GC mode %s over %d shards...\n", *duration, m, eng.Shards())
+	default:
 		fmt.Printf("running %v with GC mode %s...\n", *duration, m)
 	}
 	stop := make(chan struct{})
@@ -156,19 +186,53 @@ func main() {
 		cur.Close()
 	}
 	if !remote && m != workload.ModeNone {
-		db.GC().Stop()
+		for i := 0; i < eng.Shards(); i++ {
+			eng.Shard(i).GC().Stop()
+		}
 	}
 
-	stmts := statements(db, cl) - startStmts
+	stmts := statements(eng, cl) - startStmts
 	fmt.Printf("\nthroughput: %.0f committed statements/s (%d statements in %v)\n",
 		float64(stmts)/elapsed.Seconds(), stmts, elapsed.Round(time.Millisecond))
 	for t := tpcc.TxnNewOrder; t <= tpcc.TxnStockLevel; t++ {
-		var committed, aborted int64
+		var committed, aborted, crossed int64
 		for _, wk := range workers {
 			committed += wk.Stats.Committed[t].Load()
 			aborted += wk.Stats.Aborted[t].Load()
+			crossed += wk.Stats.Cross[t].Load()
 		}
-		fmt.Printf("  %-12s committed=%-8d aborted=%d\n", t, committed, aborted)
+		if cfg.CrossWarehouse {
+			fmt.Printf("  %-12s committed=%-8d aborted=%-6d cross-shard=%d\n", t, committed, aborted, crossed)
+		} else {
+			fmt.Printf("  %-12s committed=%-8d aborted=%d\n", t, committed, aborted)
+		}
+	}
+
+	// Per-warehouse breakdown: one worker per warehouse, so worker stats are
+	// warehouse stats. The cross-shard column is the share of that worker's
+	// committed transactions that crossed shards and went through two-phase
+	// commit (~10% of NewOrder+Payment when the remote clauses are on).
+	fmt.Println("\nper-warehouse:")
+	var totCommitted, totCross int64
+	for _, wk := range workers {
+		committed := wk.Stats.TotalCommitted()
+		crossed := wk.Stats.TotalCross()
+		var aborted int64
+		for t := tpcc.TxnNewOrder; t <= tpcc.TxnStockLevel; t++ {
+			aborted += wk.Stats.Aborted[t].Load()
+		}
+		totCommitted += committed
+		totCross += crossed
+		share := 0.0
+		if committed > 0 {
+			share = 100 * float64(crossed) / float64(committed)
+		}
+		fmt.Printf("  W%-3d shard %-2d committed=%-8d aborted=%-6d cross-shard=%d (%.1f%%)\n",
+			wk.Warehouse(), driver.HomeShard(wk.Warehouse()), committed, aborted, crossed, share)
+	}
+	if totCommitted > 0 {
+		fmt.Printf("  total cross-shard share: %.1f%% of %d committed\n",
+			100*float64(totCross)/float64(totCommitted), totCommitted)
 	}
 	if remote {
 		st, err := cl.Stats()
@@ -181,11 +245,20 @@ func main() {
 			st.Requests, st.RequestErrors, st.ConnsTotal,
 			fmtBytes(st.BytesIn), fmtBytes(st.BytesOut), st.LatP50, st.LatP99)
 	} else {
-		st := db.Stats()
+		st := eng.Stats()
 		fmt.Printf("\nversion space: live=%d created=%d reclaimed=%d migrated=%d\n",
 			st.VersionsLive, st.VersionsCreated, st.VersionsReclaimed, st.VersionsMigrated)
-		fmt.Printf("hash table: %d chains over %d buckets (collision ratio %.2f)\n",
-			st.Hash.Chains, st.Hash.Buckets, st.Hash.CollisionRatio)
+		if eng.Shards() > 1 {
+			for i := 0; i < eng.Shards(); i++ {
+				ss := eng.Shard(i).Stats()
+				fmt.Printf("  shard %d: live=%-7d reclaimed=%-8d horizon=%d committed=%d\n",
+					i, ss.VersionsLive, ss.VersionsReclaimed, ss.GlobalHorizon, ss.Txn.TxnsCommitted)
+			}
+		} else {
+			hst := eng.Shard(0).Stats()
+			fmt.Printf("hash table: %d chains over %d buckets (collision ratio %.2f)\n",
+				hst.Hash.Chains, hst.Hash.Buckets, hst.Hash.CollisionRatio)
+		}
 		fmt.Printf("commit groups pending: %d, txns committed: %d, groups: %d\n",
 			st.GroupListLen, st.Txn.TxnsCommitted, st.Txn.GroupsCommitted)
 	}
@@ -200,7 +273,7 @@ func main() {
 				fatal(err)
 			}
 			defer ccl.Close()
-			target := currentCID(db, cl)
+			target := currentCID(eng, cl)
 			fmt.Printf("\nwaiting for %s to reach CID %d... ", *checkAddr, target)
 			if err := waitForCID(ccl, target, 30*time.Second); err != nil {
 				fatal(err)
@@ -218,9 +291,9 @@ func main() {
 }
 
 // currentCID reads the workload side's commit timestamp.
-func currentCID(db *core.DB, cl *client.Client) uint64 {
-	if db != nil {
-		return uint64(db.Stats().CurrentCID)
+func currentCID(eng engine.Engine, cl *client.Client) uint64 {
+	if eng != nil {
+		return uint64(eng.Stats().CurrentCID)
 	}
 	st, err := cl.Stats()
 	if err != nil {
@@ -250,9 +323,9 @@ func waitForCID(cl *client.Client, target uint64, timeout time.Duration) error {
 
 // statements reads the committed-statement counter from whichever end runs
 // the engine.
-func statements(db *core.DB, cl *client.Client) int64 {
-	if db != nil {
-		return db.StatementCount()
+func statements(eng engine.Engine, cl *client.Client) int64 {
+	if eng != nil {
+		return eng.Stats().Statements
 	}
 	st, err := cl.Stats()
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"hybridgc/internal/core"
+	"hybridgc/internal/engine"
 	"hybridgc/internal/ts"
 	"hybridgc/internal/wire"
 )
@@ -84,6 +85,11 @@ type Client struct {
 	sem       chan struct{} // one slot per live or dialable connection
 
 	redials atomic.Int64 // background redial attempts
+	// shards caches the server's shard count from the HELLO response (1 on a
+	// single-node server or a pre-sharding peer that omits the field) — the
+	// shard map a routing caller (the TPC-C driver's by-warehouse affinity)
+	// uses to pick BeginShard targets without a STATS round trip.
+	shards atomic.Int64
 }
 
 // Dial creates a client and eagerly dials one connection so a bad address or
@@ -138,9 +144,24 @@ func (c *Client) dial() (*Conn, error) {
 		nc.Close()
 		return nil, fmt.Errorf("client: server speaks protocol %d, want %d", got, wire.Version)
 	}
+	// The shard count trails the version byte; a pre-sharding server omits
+	// it, which reads as a single shard.
+	if n := int64(0); r.Rest() >= 4 {
+		n = int64(r.U32())
+		if n > 0 {
+			c.shards.Store(n)
+		}
+	}
+	if c.shards.Load() == 0 {
+		c.shards.Store(1)
+	}
 	cn.timeout = c.cfg.RequestTimeout
 	return cn, nil
 }
+
+// ShardCount reports the server's shard count as negotiated in HELLO (1 on a
+// single-node server).
+func (c *Client) ShardCount() int { return int(c.shards.Load()) }
 
 // get checks a connection out of the pool, dialing when the pool has free
 // capacity and no idle connection. While the redial backoff clock runs (a
@@ -402,6 +423,33 @@ func (c *Client) Begin(transSI bool) (*Tx, error) {
 	return &Tx{c: c, cn: cn}, nil
 }
 
+// BeginShard starts a remote transaction pinned to one shard — the
+// single-shard fast path on a sharded server, bypassing the cross-shard
+// router. Operations referencing records on other shards fail.
+func (c *Client) BeginShard(shard int, transSI bool) (*Tx, error) {
+	cn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cn.roundTripB(wire.OpBeginShard, wire.GetBuilder().U32(uint32(shard)).Bool(transSI)); err != nil {
+		c.put(cn)
+		if isTransportErr(err) {
+			err = fmt.Errorf("%w: %v", core.ErrTxnBroken, err)
+		}
+		return nil, err
+	}
+	return &Tx{c: c, cn: cn}, nil
+}
+
+// SetPlacement installs a table's shard-placement policy on the server; it
+// must run before the table receives rows. A single-node server accepts and
+// ignores it.
+func (c *Client) SetPlacement(tid ts.TableID, p engine.Placement) error {
+	_, err := c.doB(wire.OpSetPlacement, wire.GetBuilder().
+		U32(uint32(tid)).U8(uint8(p.Kind)).U64(p.Size).U32(uint32(p.Shard)))
+	return err
+}
+
 // Query opens a remote SQL cursor, pinning one connection until Close. The
 // server-side cursor holds a snapshot scoped to the query's table — the
 // canonical remote long-lived garbage collection blocker.
@@ -490,6 +538,17 @@ func (tx *Tx) Get(tid ts.TableID, rid ts.RID) ([]byte, error) {
 // Insert creates a record and returns its RID.
 func (tx *Tx) Insert(tid ts.TableID, img []byte) (ts.RID, error) {
 	r, err := tx.roundB(wire.OpInsert, wire.GetBuilder().U32(uint32(tid)).Bytes(img))
+	if err != nil {
+		return 0, err
+	}
+	rid := ts.RID(r.U64())
+	return rid, r.Err()
+}
+
+// InsertAt is Insert with a shard-placement hint — the sharded server places
+// the record on hint's shard; a single-node server ignores the hint.
+func (tx *Tx) InsertAt(tid ts.TableID, img []byte, hint int) (ts.RID, error) {
+	r, err := tx.roundB(wire.OpInsertAt, wire.GetBuilder().U32(uint32(tid)).U32(uint32(hint)).Bytes(img))
 	if err != nil {
 		return 0, err
 	}

@@ -111,6 +111,11 @@ type DB struct {
 	fail       *failState
 	readOnly   bool
 
+	// recovery is the two-phase-commit state found in the log at Open, nil
+	// without persistence. The shard cluster consumes it to settle in-doubt
+	// cross-shard transactions before serving.
+	recovery *RecoverySummary
+
 	// asm reassembles multi-part commit groups arriving over the replication
 	// stream (ApplyRecord). It lives on the engine, not on the stream: a
 	// reconnect resumes from the applied cursor, which may sit between the
@@ -154,9 +159,10 @@ func Open(cfg Config) (*DB, error) {
 	var lg *wal.Log
 	var persistDir string
 	var recovered ts.CID
+	var recoverySum *RecoverySummary
 	if p := cfg.Persistence; p != nil {
 		var err error
-		recovered, err = recoverInto(cat, p.Dir)
+		recovered, recoverySum, err = recoverInto(cat, p.Dir)
 		if err != nil {
 			return nil, fmt.Errorf("core: recovery: %w", err)
 		}
@@ -183,6 +189,7 @@ func Open(cfg Config) (*DB, error) {
 		persistDir: persistDir,
 		fail:       fail,
 		readOnly:   cfg.ReadOnly,
+		recovery:   recoverySum,
 	}
 	db.hybrid.TG.Resolver = db.partitionResolver
 	if cfg.CooperativeGC {

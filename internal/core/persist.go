@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"hybridgc/internal/fault"
 	"hybridgc/internal/mvcc"
@@ -47,37 +48,74 @@ type walLogger struct {
 // replay the group only once every part is present, so a batch torn by a
 // crash (which was never acknowledged) disappears instead of surfacing a
 // partial commit.
+// Members whose write set is already durable (two-phase-commit participants,
+// whose prepare record logged it) are skipped; their CID reaches the log via
+// the KindResolve record the coordinator appends after publication.
 func (w *walLogger) LogCommit(cid ts.CID, members []*mvcc.TransContext) error {
 	if cap(w.pool) < len(members) {
 		w.pool = make([]wal.Record, len(members))
 		w.recs = make([]*wal.Record, len(members))
 	}
-	recs := w.recs[:len(members)]
-	for i, tc := range members {
-		rec := &w.pool[i]
+	recs := w.recs[:0]
+	for _, tc := range members {
+		if tc.SkipLog() {
+			continue
+		}
+		rec := &w.pool[len(recs)]
 		*rec = wal.Record{
 			Kind: wal.KindGroup, CID: cid,
-			Part: uint32(i), Parts: uint32(len(members)),
-			Ops: rec.Ops[:0],
+			Part: uint32(len(recs)),
+			Ops:  rec.Ops[:0],
 		}
 		for _, v := range tc.Versions() {
 			rec.Ops = append(rec.Ops, wal.Op{
 				Op: v.Op, Table: v.Key.Table, RID: v.Key.RID, Payload: v.Payload,
 			})
 		}
-		recs[i] = rec
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	for _, rec := range recs {
+		rec.Parts = uint32(len(recs))
 	}
 	_, err := w.log.AppendBatch(recs)
 	return err
+}
+
+// RecoverySummary is the two-phase-commit state recovery found in the log:
+// prepared write sets with no settling resolve record (in doubt — the owner
+// crashed between prepare and resolve) and, on a coordinator shard, the
+// decision records. The shard cluster settles in-doubt transactions against
+// the coordinator's decisions before serving; the protocol is presumed-abort,
+// so an XID absent from Decisions aborts.
+type RecoverySummary struct {
+	InDoubt   map[uint64][]wal.Op
+	Decisions map[uint64]bool
+}
+
+// pendingResolve is a settled prepare awaiting replay at its CID position.
+type pendingResolve struct {
+	cid ts.CID
+	ops []wal.Op
 }
 
 // recover rebuilds the table space from the checkpoint (if any) and the log,
 // returning the recovered commit timestamp. Recovered state lives entirely
 // in the table space: after a restart no snapshot exists, so every row's
 // single post-image is exactly what MVCC requires.
-func recoverInto(cat *table.Catalog, dir string) (ts.CID, error) {
+//
+// Two passes over the log: the first collects two-phase-commit records —
+// a commit-resolve's write set (from its prepare) must replay at its CID
+// position among the commit groups, but the resolve record itself may sit
+// later in the log than a higher-CID group (it is appended after the
+// participant publishes, racing with later commits' appends). The second
+// pass replays groups in log order and splices each settled write set in
+// ascending CID order.
+func recoverInto(cat *table.Catalog, dir string) (ts.CID, *RecoverySummary, error) {
 	if err := fault.Hit(FPRecover); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	recovered := ts.CID(0)
 	ck, err := wal.ReadCheckpoint(dir)
@@ -87,12 +125,12 @@ func recoverInto(cat *table.Catalog, dir string) (ts.CID, error) {
 		for _, t := range ck.Tables {
 			tbl, err := cat.Restore(t.ID, t.Name)
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			for _, r := range t.Records {
 				rec, err := tbl.CreateRecord(r.RID)
 				if err != nil {
-					return 0, err
+					return 0, nil, err
 				}
 				rec.InstallImage(r.Image)
 			}
@@ -101,13 +139,51 @@ func recoverInto(cat *table.Catalog, dir string) (ts.CID, error) {
 	case errors.Is(err, wal.ErrNoCheckpoint):
 		// Cold start or checkpoint-less log: replay everything.
 	default:
-		return 0, err
+		return 0, nil, err
 	}
 
-	// Multi-part commit groups replay only once every part is present; parts
-	// still pending when the log ends are the torn tail of a batch whose
-	// commit was never acknowledged, and are dropped by simply never applying
-	// them (see wal.GroupAssembler for the full contract).
+	// Pass 1: collect prepares, match resolves against them, note decisions.
+	sum := &RecoverySummary{InDoubt: map[uint64][]wal.Op{}, Decisions: map[uint64]bool{}}
+	var resolves []pendingResolve
+	err = wal.ReadAll(dir, func(r *wal.Record) error {
+		switch r.Kind {
+		case wal.KindPrepare:
+			sum.InDoubt[r.XID] = r.Ops
+		case wal.KindResolve:
+			ops := sum.InDoubt[r.XID]
+			delete(sum.InDoubt, r.XID)
+			if r.Commit && r.CID > recovered && ops != nil {
+				resolves = append(resolves, pendingResolve{cid: r.CID, ops: ops})
+			}
+		case wal.KindDecision:
+			sum.Decisions[r.XID] = r.Commit
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	sort.Slice(resolves, func(i, j int) bool { return resolves[i].cid < resolves[j].cid })
+	applyResolvesBelow := func(bound ts.CID) error {
+		for len(resolves) > 0 && resolves[0].cid < bound {
+			pr := resolves[0]
+			resolves = resolves[1:]
+			for _, op := range pr.ops {
+				if err := replayOp(cat, op); err != nil {
+					return fmt.Errorf("replaying resolved CID %d: %w", pr.cid, err)
+				}
+			}
+			if pr.cid > recovered {
+				recovered = pr.cid
+			}
+		}
+		return nil
+	}
+
+	// Pass 2: multi-part commit groups replay only once every part is
+	// present; parts still pending when the log ends are the torn tail of a
+	// batch whose commit was never acknowledged, and are dropped by simply
+	// never applying them (see wal.GroupAssembler for the full contract).
 	var asm wal.GroupAssembler
 	err = wal.ReadAll(dir, func(r *wal.Record) error {
 		switch r.Kind {
@@ -129,6 +205,9 @@ func recoverInto(cat *table.Catalog, dir string) (ts.CID, error) {
 			if !done {
 				return nil
 			}
+			if err := applyResolvesBelow(cid); err != nil {
+				return err
+			}
 			for _, op := range ops {
 				if err := replayOp(cat, op); err != nil {
 					return fmt.Errorf("replaying CID %d: %w", cid, err)
@@ -137,10 +216,18 @@ func recoverInto(cat *table.Catalog, dir string) (ts.CID, error) {
 			if cid > recovered {
 				recovered = cid
 			}
+		case wal.KindPrepare, wal.KindDecision, wal.KindResolve:
+			asm.Abandon()
 		}
 		return nil
 	})
-	return recovered, err
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := applyResolvesBelow(ts.CID(^uint64(0))); err != nil {
+		return 0, nil, err
+	}
+	return recovered, sum, err
 }
 
 // replayOp applies one logged operation directly to the table space.

@@ -1,0 +1,161 @@
+package crashmatrix
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hybridgc/internal/core"
+	"hybridgc/internal/engine"
+	"hybridgc/internal/fault"
+	"hybridgc/internal/shard"
+	"hybridgc/internal/ts"
+	"hybridgc/internal/txn"
+)
+
+// Test2PCCrashMatrix crashes a cross-shard commit at every declared 2PC
+// failpoint, snapshots both shard directories the way a power cut would
+// observe them, reopens the cluster, and asserts the in-doubt transaction
+// resolved identically on every shard: committed everywhere (the decision
+// record made it to the coordinator's log) or aborted everywhere (it did
+// not — presumed abort). A second reopen proves settlement is idempotent.
+func Test2PCCrashMatrix(t *testing.T) {
+	scenarios := []struct {
+		site   string
+		after  int
+		commit bool // expected uniform outcome of the in-doubt txn
+	}{
+		// Crash after the first participant's prepare: no decision record
+		// exists, so recovery must abort on both shards — including the one
+		// holding a durable prepare.
+		{shard.FPPrepare, 0, false},
+		// Crash after the second prepare: every participant is in doubt,
+		// still no decision — presumed abort everywhere.
+		{shard.FPPrepare, 1, false},
+		// Crash before the decision record is appended: same contract.
+		{shard.FPDecision, 0, false},
+		// Crash after the decision is durable but before any participant
+		// publishes: recovery must commit on both shards.
+		{shard.FPApply, 0, true},
+		// Crash after the first participant publishes, before its resolve
+		// record: the second participant still settles (the fault fires
+		// once), the first is recommitted from its prepare + the decision.
+		{shard.FPResolve, 0, true},
+		// Crash on the second participant's resolve: the first settled
+		// normally, the second is recovered from the decision.
+		{shard.FPResolve, 1, true},
+	}
+	for _, sc := range scenarios {
+		t.Run(fmt.Sprintf("%s/after=%d", sc.site, sc.after), func(t *testing.T) {
+			runShardScenario(t, sc.site, sc.after, sc.commit)
+		})
+	}
+}
+
+func openShardCluster(dir string) (*shard.Cluster, error) {
+	return shard.Open(shard.Config{
+		Shards:    2,
+		Configure: func(int) core.Config { return dbConfig(dir) },
+	})
+}
+
+func runShardScenario(t *testing.T, site string, after int, commit bool) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	c, err := openShardCluster(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := c.CreateTable("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per shard (the default interleave places global RID 1 on shard
+	// 0 and RID 2 on shard 1), then one clean cross-shard commit so the
+	// abort-expected scenarios recover a value 2PC itself produced.
+	var r1, r2 ts.RID
+	if err := c.Exec(txn.StmtSI, nil, func(tx engine.Tx) error {
+		var err error
+		if r1, err = tx.Insert(tid, []byte("a0")); err != nil {
+			return err
+		}
+		r2, err = tx.Insert(tid, []byte("b0"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := crossUpdate(c, tid, r1, r2, "a1", "b1"); err != nil {
+		t.Fatalf("clean cross-shard commit: %v", err)
+	}
+
+	// Arm exactly one failpoint and run the doomed cross-shard update.
+	fault.Enable(site, fault.After(after), fault.Once())
+	err = crossUpdate(c, tid, r1, r2, "a2", "b2")
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("crashed commit returned %v, want injected fault", err)
+	}
+	if n := fault.FiredCount(site); n != 1 {
+		t.Fatalf("site %s fired %d times, want 1", site, n)
+	}
+
+	// Pull the plug: image both shard directories while the cluster is still
+	// open (the fail-stopped shards never close cleanly in a real crash).
+	img := dir + "-crash"
+	for i := 0; i < 2; i++ {
+		if err := copyDir(shard.ShardDir(dir, i), shard.ShardDir(img, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fault.Reset()
+	c.Close()
+
+	want1, want2 := "a1", "b1"
+	if commit {
+		want1, want2 = "a2", "b2"
+	}
+	// Recovery settles the in-doubt transaction; a second reopen must find
+	// nothing left to settle and the same state.
+	for pass := 1; pass <= 2; pass++ {
+		rec, err := openShardCluster(img)
+		if err != nil {
+			t.Fatalf("reopen %d: %v", pass, err)
+		}
+		for i := 0; i < 2; i++ {
+			if failed, cause := rec.Shard(i).FailStop(); failed {
+				t.Fatalf("reopen %d: shard %d fail-stopped: %v", pass, i, cause)
+			}
+		}
+		g1 := mustGet(t, rec, tid, r1)
+		g2 := mustGet(t, rec, tid, r2)
+		if g1 != want1 || g2 != want2 {
+			t.Fatalf("reopen %d: recovered (%q, %q), want uniform (%q, %q)", pass, g1, g2, want1, want2)
+		}
+		rec.Close()
+	}
+}
+
+// crossUpdate updates one row on each shard inside a single routed
+// transaction, forcing the two-phase commit path.
+func crossUpdate(c *shard.Cluster, tid ts.TableID, r1, r2 ts.RID, v1, v2 string) error {
+	tx := c.Begin(txn.StmtSI)
+	if err := tx.Update(tid, r1, []byte(v1)); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Update(tid, r2, []byte(v2)); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func mustGet(t *testing.T, c *shard.Cluster, tid ts.TableID, rid ts.RID) string {
+	t.Helper()
+	tx := c.Begin(txn.StmtSI)
+	defer tx.Abort()
+	img, err := tx.Get(tid, rid)
+	if err != nil {
+		t.Fatalf("Get(%d): %v", rid, err)
+	}
+	return string(img)
+}

@@ -17,6 +17,11 @@ type TransContext struct {
 
 	gcc atomic.Pointer[GroupCommitContext]
 
+	// skipLog marks a transaction whose write set is already durable (a
+	// two-phase-commit participant logged it in its prepare record), so the
+	// group committer must not log it again.
+	skipLog atomic.Bool
+
 	mu       sync.Mutex
 	versions []*Version
 }
@@ -48,6 +53,13 @@ func (tc *TransContext) VersionCount() int {
 	defer tc.mu.Unlock()
 	return len(tc.versions)
 }
+
+// SetSkipLog marks the write set as already durable, excluding it from the
+// group committer's WAL record.
+func (tc *TransContext) SetSkipLog() { tc.skipLog.Store(true) }
+
+// SkipLog reports whether the write set is already durable elsewhere.
+func (tc *TransContext) SkipLog() bool { return tc.skipLog.Load() }
 
 // Group returns the GroupCommitContext once the transaction entered group
 // commit, or nil while it is still active.

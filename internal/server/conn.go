@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hybridgc/internal/core"
+	"hybridgc/internal/engine"
 	"hybridgc/internal/sql"
 	"hybridgc/internal/ts"
 	"hybridgc/internal/txn"
@@ -211,6 +212,15 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 			return fail(err)
 		}
 		return ok(nil)
+	case wire.OpBeginShard:
+		shard, transSI := int(r.U32()), r.Bool()
+		if err := firstErr(r); err != nil {
+			return fail(err)
+		}
+		if err := c.sess.BeginShard(shard, transSI); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
 	case wire.OpCommit:
 		if err := c.sess.Commit(); err != nil {
 			return fail(err)
@@ -232,7 +242,7 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 		if err := firstErr(r); err != nil {
 			return fail(err)
 		}
-		tid, err := c.srv.db.CreateTable(name)
+		tid, err := c.srv.eng.CreateTable(name)
 		if err != nil {
 			return fail(err)
 		}
@@ -242,7 +252,7 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 		if err := firstErr(r); err != nil {
 			return fail(err)
 		}
-		ids, err := c.srv.db.TableIDs(names...)
+		ids, err := c.srv.eng.TableIDs(names...)
 		if err != nil {
 			return fail(err)
 		}
@@ -257,7 +267,7 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 			return fail(err)
 		}
 		var img []byte
-		err := c.kv(func(tx *core.Tx) error {
+		err := c.kv(func(tx engine.Tx) error {
 			var err error
 			img, err = tx.Get(tid, rid)
 			return err
@@ -272,7 +282,7 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 			return fail(err)
 		}
 		var rid ts.RID
-		err := c.kv(func(tx *core.Tx) error {
+		err := c.kv(func(tx engine.Tx) error {
 			var err error
 			rid, err = tx.Insert(tid, img)
 			return err
@@ -281,12 +291,37 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 			return fail(err)
 		}
 		return ok(c.b().U64(uint64(rid)))
+	case wire.OpInsertAt:
+		tid, hint, img := ts.TableID(r.U32()), int(r.U32()), r.Bytes()
+		if err := firstErr(r); err != nil {
+			return fail(err)
+		}
+		var rid ts.RID
+		err := c.kv(func(tx engine.Tx) error {
+			var err error
+			rid, err = tx.InsertAt(tid, img, hint)
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return ok(c.b().U64(uint64(rid)))
+	case wire.OpSetPlacement:
+		tid := ts.TableID(r.U32())
+		p := engine.Placement{Kind: engine.PlacementKind(r.U8()), Size: r.U64(), Shard: int(r.U32())}
+		if err := firstErr(r); err != nil {
+			return fail(err)
+		}
+		if err := c.srv.eng.SetPlacement(tid, p); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
 	case wire.OpUpdate:
 		tid, rid, img := ts.TableID(r.U32()), ts.RID(r.U64()), r.Bytes()
 		if err := firstErr(r); err != nil {
 			return fail(err)
 		}
-		if err := c.kv(func(tx *core.Tx) error { return tx.Update(tid, rid, img) }); err != nil {
+		if err := c.kv(func(tx engine.Tx) error { return tx.Update(tid, rid, img) }); err != nil {
 			return fail(err)
 		}
 		return ok(nil)
@@ -295,7 +330,7 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 		if err := firstErr(r); err != nil {
 			return fail(err)
 		}
-		if err := c.kv(func(tx *core.Tx) error { return tx.Delete(tid, rid) }); err != nil {
+		if err := c.kv(func(tx engine.Tx) error { return tx.Delete(tid, rid) }); err != nil {
 			return fail(err)
 		}
 		return ok(nil)
@@ -309,7 +344,7 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 			img []byte
 		}
 		var pairs []pair
-		err := c.kv(func(tx *core.Tx) error {
+		err := c.kv(func(tx engine.Tx) error {
 			pairs = pairs[:0]
 			return tx.Scan(tid, func(rid ts.RID, img []byte) bool {
 				pairs = append(pairs, pair{rid, img})
@@ -343,11 +378,11 @@ func firstErr(r *wire.Parser) error {
 // kv runs a record-level operation in the session's explicit transaction if
 // one is open, or as its own autocommit transaction otherwise — the same
 // rule SQL statements follow.
-func (c *conn) kv(fn func(tx *core.Tx) error) error {
+func (c *conn) kv(fn func(tx engine.Tx) error) error {
 	if tx := c.sess.Tx(); tx != nil {
 		return fn(tx)
 	}
-	return c.srv.db.Exec(txn.StmtSI, nil, fn)
+	return c.srv.eng.Exec(txn.StmtSI, nil, fn)
 }
 
 func (c *conn) hello(r *wire.Parser) (byte, []byte) {
@@ -364,7 +399,10 @@ func (c *conn) hello(r *wire.Parser) (byte, []byte) {
 		return fail(wire.ErrAuth)
 	}
 	c.authed = true
-	return ok(c.b().U8(wire.Version))
+	// The shard count trails the version byte; pre-sharding clients parsed
+	// only the version and ignore response trailers, so the addition is
+	// compatible in both directions.
+	return ok(c.b().U8(wire.Version).U32(uint32(c.srv.eng.Shards())))
 }
 
 func (c *conn) exec(r *wire.Parser) (byte, []byte) {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"hybridgc/internal/core"
+	"hybridgc/internal/engine"
 	"hybridgc/internal/metrics"
 	"hybridgc/internal/sql"
 	"hybridgc/internal/wire"
@@ -88,7 +89,7 @@ func (c *Config) fill() {
 // Server serves one engine over TCP.
 type Server struct {
 	cfg Config
-	db  *core.DB
+	eng engine.Engine
 	cat *sql.Catalog
 
 	mu       sync.Mutex
@@ -109,18 +110,24 @@ type Server struct {
 	cursorsReaped metrics.Counter
 }
 
-// New builds a server over an engine. The SQL catalog is created (or
-// re-attached, after recovery) on the same database, so SQL and record-level
-// verbs see one store.
+// New builds a server over a single-node database — the compatibility form
+// of NewEngine.
 func New(db *core.DB, cfg Config) (*Server, error) {
+	return NewEngine(engine.NewSingle(db), cfg)
+}
+
+// NewEngine builds a server over an engine (single-node or sharded). The SQL
+// catalog is created (or re-attached, after recovery) on the same engine, so
+// SQL and record-level verbs see one store.
+func NewEngine(eng engine.Engine, cfg Config) (*Server, error) {
 	cfg.fill()
-	cat, err := sql.NewCatalog(db)
+	cat, err := sql.NewCatalogEngine(eng)
 	if err != nil {
 		return nil, fmt.Errorf("server: catalog: %w", err)
 	}
 	return &Server{
 		cfg:   cfg,
-		db:    db,
+		eng:   eng,
 		cat:   cat,
 		conns: make(map[*conn]struct{}),
 		lat:   metrics.NewHistogram(cfg.LatencyReservoir),
@@ -261,7 +268,7 @@ func (s *Server) Draining() bool {
 // Stats assembles the STATS payload: engine indicators plus the service
 // layer's own counters and latency percentiles.
 func (s *Server) Stats() wire.Stats {
-	st := s.db.Stats()
+	st := s.eng.Stats()
 	out := wire.Stats{
 		Statements:        st.Statements,
 		VersionsLive:      st.VersionsLive,
@@ -301,6 +308,21 @@ func (s *Server) Stats() wire.Stats {
 		out.PressureBackpressured = p.Backpressured
 		out.PressureRejected = p.Rejected
 		out.PressureEvicted = p.Evicted
+	}
+	if n := s.eng.Shards(); n > 1 {
+		out.Shards = make([]wire.ShardStat, 0, n)
+		for i := 0; i < n; i++ {
+			sh := s.eng.Shard(i).Stats()
+			out.Shards = append(out.Shards, wire.ShardStat{
+				VersionsLive:      sh.VersionsLive,
+				VersionsReclaimed: sh.VersionsReclaimed,
+				ActiveSnapshots:   int64(sh.ActiveSnapshots),
+				TxnsCommitted:     sh.Txn.TxnsCommitted,
+				CurrentCID:        sh.CurrentCID,
+				GlobalHorizon:     sh.GlobalHorizon,
+				FailStop:          sh.FailStop,
+			})
+		}
 	}
 	if hook := s.cfg.StatsHook; hook != nil {
 		hook(&out)

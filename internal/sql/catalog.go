@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"hybridgc/internal/core"
+	"hybridgc/internal/engine"
 	"hybridgc/internal/ts"
 	"hybridgc/internal/txn"
 )
@@ -75,30 +76,36 @@ func (t *TableInfo) eachIndex(fn func(anyIndex)) {
 // Catalog maps SQL schemas onto engine tables and persists them through the
 // meta table.
 type Catalog struct {
-	db     *core.DB
+	eng    engine.Engine
 	metaID ts.TableID
 
 	mu     sync.RWMutex
 	tables map[string]*TableInfo
 }
 
-// NewCatalog builds (or re-attaches, after recovery) the SQL catalog over a
-// database. On a read-only replica the meta table cannot be created locally;
-// it arrives through replication, so attachment is deferred until Refresh
-// (or a Table miss) finds it.
+// NewCatalog builds the SQL catalog over a single-node database — the
+// compatibility form of NewCatalogEngine.
 func NewCatalog(db *core.DB) (*Catalog, error) {
-	c := &Catalog{db: db, tables: make(map[string]*TableInfo)}
-	if id := db.TableID(metaTable); id != 0 {
+	return NewCatalogEngine(engine.NewSingle(db))
+}
+
+// NewCatalogEngine builds (or re-attaches, after recovery) the SQL catalog
+// over an engine. On a read-only replica the meta table cannot be created
+// locally; it arrives through replication, so attachment is deferred until
+// Refresh (or a Table miss) finds it.
+func NewCatalogEngine(eng engine.Engine) (*Catalog, error) {
+	c := &Catalog{eng: eng, tables: make(map[string]*TableInfo)}
+	if id := eng.TableID(metaTable); id != 0 {
 		c.metaID = id
 		if err := c.loadSchemas(); err != nil {
 			return nil, err
 		}
 		return c, nil
 	}
-	if db.ReadOnly() {
+	if eng.ReadOnly() {
 		return c, nil // metaID 0: attach lazily once replicated
 	}
-	id, err := db.CreateTable(metaTable)
+	id, err := eng.CreateTable(metaTable)
 	if err != nil {
 		return nil, err
 	}
@@ -114,13 +121,13 @@ func (c *Catalog) Refresh() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.metaID == 0 {
-		id := c.db.TableID(metaTable)
+		id := c.eng.TableID(metaTable)
 		if id == 0 {
 			return nil // nothing replicated yet
 		}
 		c.metaID = id
 	}
-	return c.db.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+	return c.eng.Exec(txn.StmtSI, nil, func(tx engine.Tx) error {
 		return tx.Scan(c.metaID, func(_ ts.RID, img []byte) bool {
 			name, cols, err := decodeSchema(img)
 			if err != nil {
@@ -130,7 +137,7 @@ func (c *Catalog) Refresh() error {
 			if _, known := c.tables[key]; known {
 				return true
 			}
-			id := c.db.TableID(name)
+			id := c.eng.TableID(name)
 			if id == 0 {
 				return true
 			}
@@ -142,13 +149,13 @@ func (c *Catalog) Refresh() error {
 
 // loadSchemas re-attaches schemas after recovery.
 func (c *Catalog) loadSchemas() error {
-	return c.db.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+	return c.eng.Exec(txn.StmtSI, nil, func(tx engine.Tx) error {
 		return tx.Scan(c.metaID, func(_ ts.RID, img []byte) bool {
 			name, cols, err := decodeSchema(img)
 			if err != nil {
 				return true // skip unreadable entries; surfaced via missing table
 			}
-			id := c.db.TableID(name)
+			id := c.eng.TableID(name)
 			if id == 0 {
 				return true
 			}
@@ -183,11 +190,11 @@ func (c *Catalog) CreateTable(name string, cols []ColumnDef) (*TableInfo, error)
 		}
 		seen[col.Name] = true
 	}
-	id, err := c.db.CreateTable(name)
+	id, err := c.eng.CreateTable(name)
 	if err != nil {
 		return nil, err
 	}
-	err = c.db.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+	err = c.eng.Exec(txn.StmtSI, nil, func(tx engine.Tx) error {
 		_, err := tx.Insert(c.metaID, encodeSchema(name, cols))
 		return err
 	})
@@ -210,7 +217,7 @@ func (c *Catalog) Table(name string) (*TableInfo, error) {
 	if ok {
 		return t, nil
 	}
-	if c.db.ReadOnly() {
+	if c.eng.ReadOnly() {
 		if err := c.Refresh(); err == nil {
 			c.mu.RLock()
 			t, ok = c.tables[key]
@@ -234,8 +241,12 @@ func (c *Catalog) Tables() []*TableInfo {
 	return out
 }
 
-// DB returns the underlying engine.
-func (c *Catalog) DB() *core.DB { return c.db }
+// Engine returns the underlying engine.
+func (c *Catalog) Engine() engine.Engine { return c.eng }
+
+// DB returns the underlying single-node engine (shard 0 on a sharded one) —
+// the concrete handle monitoring helpers and tests use.
+func (c *Catalog) DB() *core.DB { return c.eng.Shard(0) }
 
 // --- row and schema codecs ---
 

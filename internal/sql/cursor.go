@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybridgc/internal/core"
+	"hybridgc/internal/engine"
 	"hybridgc/internal/ts"
 )
 
@@ -42,7 +43,7 @@ type QueryCursor struct {
 	sess *Session
 	t    *TableInfo
 	stmt *SelectStmt
-	cur  *core.Cursor
+	cur  engine.Cursor
 	proj []int
 	cols []string
 }
@@ -90,7 +91,7 @@ func (s *Session) OpenQueryCursor(sqlText string) (*QueryCursor, error) {
 	}
 	// The engine cursor's snapshot is scoped to the plan's single table —
 	// exactly the a-priori scope knowledge table GC relies on.
-	cur, err := s.db.OpenCursor(t.ID)
+	cur, err := s.eng.OpenCursor(t.ID)
 	if err != nil {
 		return nil, err
 	}

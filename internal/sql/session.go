@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"hybridgc/internal/core"
+	"hybridgc/internal/engine"
 	"hybridgc/internal/ts"
 	"hybridgc/internal/txn"
 )
@@ -28,13 +29,13 @@ type Result struct {
 // transaction) and plain BEGIN selecting Stmt-SI.
 type Session struct {
 	cat *Catalog
-	db  *core.DB
-	tx  *core.Tx
+	eng engine.Engine
+	tx  engine.Tx
 }
 
 // NewSession opens a session over the catalog.
 func NewSession(cat *Catalog) *Session {
-	return &Session{cat: cat, db: cat.DB()}
+	return &Session{cat: cat, eng: cat.Engine()}
 }
 
 // InTransaction reports whether an explicit transaction is open.
@@ -51,7 +52,26 @@ func (s *Session) Begin(transSI bool) error {
 	if transSI {
 		iso = txn.TransSI
 	}
-	s.tx = s.db.Begin(iso)
+	s.tx = s.eng.Begin(iso)
+	return nil
+}
+
+// BeginShard starts an explicit transaction pinned to one shard — the
+// single-shard fast path the shard-aware client routes through. On a
+// single-node engine only shard 0 is valid.
+func (s *Session) BeginShard(shard int, transSI bool) error {
+	if s.tx != nil {
+		return ErrInTransaction
+	}
+	iso := txn.StmtSI
+	if transSI {
+		iso = txn.TransSI
+	}
+	tx, err := s.eng.BeginShard(shard, iso)
+	if err != nil {
+		return err
+	}
+	s.tx = tx
 	return nil
 }
 
@@ -78,7 +98,7 @@ func (s *Session) Rollback() error {
 // Tx exposes the open explicit transaction (nil outside one), so callers
 // holding a session — the wire server's record-level verbs — can run engine
 // operations inside the same transaction SQL statements use.
-func (s *Session) Tx() *core.Tx { return s.tx }
+func (s *Session) Tx() engine.Tx { return s.tx }
 
 // Close aborts any open transaction. A session is not usable afterwards
 // only by convention; it holds no other resources.
@@ -135,7 +155,7 @@ func (s *Session) runDML(stmt Statement) (*Result, error) {
 		return s.exec(s.tx, stmt)
 	}
 	var res *Result
-	err := s.db.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+	err := s.eng.Exec(txn.StmtSI, nil, func(tx engine.Tx) error {
 		var err error
 		res, err = s.exec(tx, stmt)
 		return err
@@ -147,7 +167,7 @@ func (s *Session) runDML(stmt Statement) (*Result, error) {
 }
 
 // exec dispatches one compiled data statement on tx.
-func (s *Session) exec(tx *core.Tx, stmt Statement) (*Result, error) {
+func (s *Session) exec(tx engine.Tx, stmt Statement) (*Result, error) {
 	switch st := stmt.(type) {
 	case *InsertStmt:
 		return s.execInsert(tx, st)
@@ -162,7 +182,7 @@ func (s *Session) exec(tx *core.Tx, stmt Statement) (*Result, error) {
 	}
 }
 
-func (s *Session) execInsert(tx *core.Tx, st *InsertStmt) (*Result, error) {
+func (s *Session) execInsert(tx engine.Tx, st *InsertStmt) (*Result, error) {
 	t, err := s.cat.Table(st.Table)
 	if err != nil {
 		return nil, err
@@ -226,7 +246,7 @@ func pickIndex(t *TableInfo, conds []Condition) ([]ts.RID, bool) {
 // forEachMatch drives the access path: index candidates with verification
 // when available, a full scan otherwise. fn receives decoded rows that
 // satisfy the WHERE chain.
-func (s *Session) forEachMatch(tx *core.Tx, t *TableInfo, conds []Condition, fn func(rid ts.RID, row []Datum) (bool, error)) error {
+func (s *Session) forEachMatch(tx engine.Tx, t *TableInfo, conds []Condition, fn func(rid ts.RID, row []Datum) (bool, error)) error {
 	// Validate condition columns and literal types up front so typos and
 	// mismatches fail cleanly even when no row would match.
 	for _, c := range conds {
@@ -299,7 +319,7 @@ func (s *Session) forEachMatch(tx *core.Tx, t *TableInfo, conds []Condition, fn 
 // returns false or errors.
 type rowIter func(fn func(rid ts.RID, row []Datum) (bool, error)) error
 
-func (s *Session) execSelect(tx *core.Tx, st *SelectStmt) (*Result, error) {
+func (s *Session) execSelect(tx engine.Tx, st *SelectStmt) (*Result, error) {
 	t, err := s.cat.Table(st.Table)
 	if err != nil {
 		// Monitoring views resolve when no user table shadows the name.
@@ -439,7 +459,7 @@ func (s *Session) selectPipeline(t *TableInfo, iter rowIter, st *SelectStmt) (*R
 	return res, nil
 }
 
-func (s *Session) execUpdate(tx *core.Tx, st *UpdateStmt) (*Result, error) {
+func (s *Session) execUpdate(tx engine.Tx, st *UpdateStmt) (*Result, error) {
 	t, err := s.cat.Table(st.Table)
 	if err != nil {
 		return nil, err
@@ -488,7 +508,7 @@ func (s *Session) execUpdate(tx *core.Tx, st *UpdateStmt) (*Result, error) {
 	return &Result{Affected: len(ms)}, nil
 }
 
-func (s *Session) execDelete(tx *core.Tx, st *DeleteStmt) (*Result, error) {
+func (s *Session) execDelete(tx engine.Tx, st *DeleteStmt) (*Result, error) {
 	t, err := s.cat.Table(st.Table)
 	if err != nil {
 		return nil, err
@@ -528,7 +548,7 @@ func (s *Session) createIndex(st *CreateIndexStmt) (*Result, error) {
 	if !t.addIndex(ix) {
 		return nil, fmt.Errorf("sql: index on %s(%s) already exists", t.Name, st.Column)
 	}
-	err = s.db.Exec(txn.StmtSI, nil, func(tx *core.Tx) error {
+	err = s.eng.Exec(txn.StmtSI, nil, func(tx engine.Tx) error {
 		return tx.Scan(t.ID, func(rid ts.RID, img []byte) bool {
 			if row, err := decodeRow(t.Columns, img); err == nil {
 				ix.Add(row[ci], rid)

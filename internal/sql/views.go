@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hybridgc/internal/gc"
+	"hybridgc/internal/txn"
 )
 
 // Monitoring views. The paper's Figure 2 is a screenshot of the "HANA
@@ -16,6 +17,11 @@ import (
 //	m_snapshots     (kind TEXT, timestamp INT, age_us INT, scoped INT)
 //	m_gc            (collector TEXT, reclaimed INT, runs INT)
 //	m_tables        (name TEXT, id INT, partitions INT)
+//	m_shards        (shard INT, versions_live INT, current_cid INT,
+//	                 horizon INT, snapshots INT)
+//
+// On a sharded engine the counter views aggregate across shards; m_shards
+// breaks the population out per shard, horizons and all.
 //
 // Views are read-only; SELECT (including WHERE/ORDER BY/LIMIT/COUNT/SUM)
 // works on them, DML does not.
@@ -35,7 +41,7 @@ var views = map[string]view{
 		info: viewInfo("m_version_space", []ColumnDef{
 			{Name: "metric", Type: TText}, {Name: "value", Type: TInt}}),
 		build: func(s *Session) [][]Datum {
-			st := s.db.Stats()
+			st := s.eng.Stats()
 			metrics := []struct {
 				name string
 				v    int64
@@ -71,7 +77,10 @@ var views = map[string]view{
 			{Name: "kind", Type: TText}, {Name: "timestamp", Type: TInt},
 			{Name: "age_us", Type: TInt}, {Name: "scoped", Type: TInt}}),
 		build: func(s *Session) [][]Datum {
-			snaps := s.db.Manager().Monitor().Active()
+			var snaps []*txn.Snapshot
+			for i := 0; i < s.eng.Shards(); i++ {
+				snaps = append(snaps, s.eng.Shard(i).Manager().Monitor().Active()...)
+			}
 			sort.Slice(snaps, func(i, j int) bool { return snaps[i].TS() < snaps[j].TS() })
 			rows := make([][]Datum, 0, len(snaps))
 			for _, sn := range snaps {
@@ -94,11 +103,20 @@ var views = map[string]view{
 			{Name: "collector", Type: TText}, {Name: "reclaimed", Type: TInt},
 			{Name: "runs", Type: TInt}}),
 		build: func(s *Session) [][]Datum {
-			h := s.db.GC()
+			var gt, tg, si [2]int64
+			for i := 0; i < s.eng.Shards(); i++ {
+				h := s.eng.Shard(i).GC()
+				gt[0] += h.GT.Totals.Versions()
+				gt[1] += h.GT.Totals.Runs()
+				tg[0] += h.TG.Totals.Versions()
+				tg[1] += h.TG.Totals.Runs()
+				si[0] += h.SI.Totals.Versions()
+				si[1] += h.SI.Totals.Runs()
+			}
 			return [][]Datum{
-				{TextD("GT"), IntD(h.GT.Totals.Versions()), IntD(h.GT.Totals.Runs())},
-				{TextD("TG"), IntD(h.TG.Totals.Versions()), IntD(h.TG.Totals.Runs())},
-				{TextD("SI"), IntD(h.SI.Totals.Versions()), IntD(h.SI.Totals.Runs())},
+				{TextD("GT"), IntD(gt[0]), IntD(gt[1])},
+				{TextD("TG"), IntD(tg[0]), IntD(tg[1])},
+				{TextD("SI"), IntD(si[0]), IntD(si[1])},
 			}
 		},
 	},
@@ -107,11 +125,17 @@ var views = map[string]view{
 			{Name: "region", Type: TText}, {Name: "versions", Type: TInt},
 			{Name: "collector", Type: TText}}),
 		build: func(s *Session) [][]Datum {
-			r := gc.CurrentRegions(s.db.Manager())
+			var a, b, c int64
+			for i := 0; i < s.eng.Shards(); i++ {
+				r := gc.CurrentRegions(s.eng.Shard(i).Manager())
+				a += r.A
+				b += r.B
+				c += r.C
+			}
 			return [][]Datum{
-				{TextD("A"), IntD(r.A), TextD("GT")},
-				{TextD("B"), IntD(r.B), TextD("TG")},
-				{TextD("C"), IntD(r.C), TextD("SI")},
+				{TextD("A"), IntD(a), TextD("GT")},
+				{TextD("B"), IntD(b), TextD("TG")},
+				{TextD("C"), IntD(c), TextD("SI")},
 			}
 		},
 	},
@@ -124,8 +148,28 @@ var views = map[string]view{
 			sort.Slice(tables, func(i, j int) bool { return tables[i].ID < tables[j].ID })
 			rows := make([][]Datum, 0, len(tables))
 			for _, t := range tables {
-				parts := int64(s.cat.DB().TablePartitions(t.ID))
+				parts := int64(s.eng.TablePartitions(t.ID))
 				rows = append(rows, []Datum{TextD(t.Name), IntD(int64(t.ID)), IntD(parts)})
+			}
+			return rows
+		},
+	},
+	"m_shards": {
+		info: viewInfo("m_shards", []ColumnDef{
+			{Name: "shard", Type: TInt}, {Name: "versions_live", Type: TInt},
+			{Name: "current_cid", Type: TInt}, {Name: "horizon", Type: TInt},
+			{Name: "snapshots", Type: TInt}}),
+		build: func(s *Session) [][]Datum {
+			rows := make([][]Datum, 0, s.eng.Shards())
+			for i := 0; i < s.eng.Shards(); i++ {
+				st := s.eng.Shard(i).Stats()
+				rows = append(rows, []Datum{
+					IntD(int64(i)),
+					IntD(st.VersionsLive),
+					IntD(int64(st.CurrentCID)),
+					IntD(int64(st.GlobalHorizon)),
+					IntD(int64(st.ActiveSnapshots)),
+				})
 			}
 			return rows
 		},

@@ -15,9 +15,20 @@ import (
 // last-order and last-name lookups) by scanning. cfg must match the
 // configuration the data was loaded with.
 func Attach(db *core.DB, cfg Config) (*Driver, error) {
+	d, err := AttachBackend(LocalBackend(db), cfg)
+	if d != nil {
+		d.DB = db
+	}
+	return d, err
+}
+
+// AttachBackend is Attach over any backend — including a sharded engine,
+// whose in-memory placements are reinstalled (identically; placements are not
+// recovered from the WAL) before the rebuild scans touch any table.
+func AttachBackend(be Backend, cfg Config) (*Driver, error) {
 	cfg.fill()
-	d := &Driver{DB: db, be: LocalBackend(db), cfg: cfg}
-	ids, err := db.TableIDs(TableWarehouse, TableDistrict, TableCustomer,
+	d := &Driver{be: be, cfg: cfg}
+	ids, err := be.TableIDs(TableWarehouse, TableDistrict, TableCustomer,
 		TableHistory, TableNewOrder, TableOrders, TableOrderLine, TableItem, TableStock)
 	if err != nil {
 		return nil, fmt.Errorf("tpcc: attach: %w", err)
@@ -25,6 +36,9 @@ func Attach(db *core.DB, cfg Config) (*Driver, error) {
 	d.t = tables{
 		warehouse: ids[0], district: ids[1], customer: ids[2], history: ids[3],
 		newOrder: ids[4], orders: ids[5], orderLine: ids[6], item: ids[7], stock: ids[8],
+	}
+	if err := d.installPlacements(); err != nil {
+		return nil, err
 	}
 	d.nu = newNURandC(rand.New(rand.NewSource(cfg.Seed)))
 	d.dist = make([][]*districtState, cfg.Warehouses)

@@ -3,6 +3,7 @@ package tpcc
 import (
 	"hybridgc/internal/client"
 	"hybridgc/internal/core"
+	"hybridgc/internal/engine"
 	"hybridgc/internal/ts"
 	"hybridgc/internal/txn"
 )
@@ -30,22 +31,51 @@ type Backend interface {
 	Begin(snapshot bool) (Txn, error)
 }
 
+// ShardedBackend is the optional surface a backend exposes when it fronts a
+// sharded engine: the driver uses it to install by-warehouse placements, pin
+// home-only profiles to their warehouse's shard (the single-shard fast path)
+// and report the cross-shard share.
+type ShardedBackend interface {
+	Backend
+	// Shards reports the shard count (1 means unsharded).
+	Shards() int
+	// BeginShard starts a transaction pinned to one shard.
+	BeginShard(shard int, snapshot bool) (Txn, error)
+	// SetPlacement installs a table's shard placement.
+	SetPlacement(tid ts.TableID, p engine.Placement) error
+}
+
 // localBackend serves the driver from an in-process engine.
-type localBackend struct{ db *core.DB }
+type localBackend struct{ eng engine.Engine }
 
-// LocalBackend wraps an engine as a driver backend.
-func LocalBackend(db *core.DB) Backend { return localBackend{db: db} }
+// LocalBackend wraps a single-node engine as a driver backend.
+func LocalBackend(db *core.DB) Backend { return EngineBackend(engine.NewSingle(db)) }
 
-func (b localBackend) CreateTable(name string) (ts.TableID, error) { return b.db.CreateTable(name) }
+// EngineBackend wraps any engine — single-node or the sharded router — as a
+// driver backend. It always satisfies ShardedBackend; the driver only changes
+// behavior when Shards() > 1.
+func EngineBackend(eng engine.Engine) Backend { return localBackend{eng: eng} }
+
+func (b localBackend) CreateTable(name string) (ts.TableID, error) { return b.eng.CreateTable(name) }
 func (b localBackend) TableIDs(names ...string) ([]ts.TableID, error) {
-	return b.db.TableIDs(names...)
+	return b.eng.TableIDs(names...)
 }
 func (b localBackend) Begin(snapshot bool) (Txn, error) {
-	iso := txn.StmtSI
+	return b.eng.Begin(isolation(snapshot)), nil
+}
+func (b localBackend) Shards() int { return b.eng.Shards() }
+func (b localBackend) BeginShard(shard int, snapshot bool) (Txn, error) {
+	return b.eng.BeginShard(shard, isolation(snapshot))
+}
+func (b localBackend) SetPlacement(tid ts.TableID, p engine.Placement) error {
+	return b.eng.SetPlacement(tid, p)
+}
+
+func isolation(snapshot bool) txn.Isolation {
 	if snapshot {
-		iso = txn.TransSI
+		return txn.TransSI
 	}
-	return b.db.Begin(iso), nil
+	return txn.StmtSI
 }
 
 // remoteBackend serves the driver over the wire protocol.
@@ -62,6 +92,25 @@ func (b remoteBackend) TableIDs(names ...string) ([]ts.TableID, error) {
 	return b.c.TableIDs(names...)
 }
 func (b remoteBackend) Begin(snapshot bool) (Txn, error) { return b.c.Begin(snapshot) }
+func (b remoteBackend) Shards() int                      { return b.c.ShardCount() }
+func (b remoteBackend) BeginShard(shard int, snapshot bool) (Txn, error) {
+	return b.c.BeginShard(shard, snapshot)
+}
+func (b remoteBackend) SetPlacement(tid ts.TableID, p engine.Placement) error {
+	return b.c.SetPlacement(tid, p)
+}
+
+// insertAt routes an insert through the transaction's shard hint when the
+// backend supports one (engine.Tx and client.Tx do), falling back to a plain
+// Insert. The hint is advisory placement affinity, never correctness.
+func insertAt(tx Txn, tid ts.TableID, img []byte, hint int) (ts.RID, error) {
+	if h, ok := tx.(interface {
+		InsertAt(tid ts.TableID, img []byte, hint int) (ts.RID, error)
+	}); ok {
+		return h.InsertAt(tid, img, hint)
+	}
+	return tx.Insert(tid, img)
+}
 
 // SetCheckBackend routes the consistency check (Check) through a different
 // backend than the workload — typically a read-only replica endpoint, so the
@@ -107,5 +156,41 @@ func (d *Driver) exec(fn func(tx Txn) error) error {
 func (d *Driver) execRetry(fn func(tx Txn) error) error {
 	return core.Retry(txnRetries, retryBase, func() error {
 		return d.exec(fn)
+	})
+}
+
+// execOn runs fn in one transaction pinned to warehouse w's home shard — the
+// single-shard fast path — when the backend is sharded and the profile is
+// known to stay home. Cross-warehouse profiles (and unsharded backends) go
+// through the routed exec path instead.
+func (d *Driver) execOn(w uint32, cross bool, fn func(tx Txn) error) error {
+	sb, ok := d.be.(ShardedBackend)
+	if !ok || d.shards <= 1 || cross {
+		return d.exec(fn)
+	}
+	tx, err := sb.BeginShard(d.shardOfW(w), false)
+	if err != nil {
+		return err
+	}
+	done := false
+	defer func() {
+		if !done {
+			tx.Abort()
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		done = true
+		return err
+	}
+	err = tx.Commit()
+	done = true
+	return err
+}
+
+// execRetryOn is execOn with the transient-failure retry policy.
+func (d *Driver) execRetryOn(w uint32, cross bool, fn func(tx Txn) error) error {
+	return core.Retry(txnRetries, retryBase, func() error {
+		return d.execOn(w, cross, fn)
 	})
 }

@@ -57,8 +57,26 @@ func (wk *Worker) NewOrder() error {
 	olCnt := randRange(r, 5, 15)
 	rollback := r.Intn(100) == 0
 
+	// TPC-C clause 2.4.1.5: 1% of order lines draw stock from a remote supply
+	// warehouse (when enabled), making ~10% of New-Orders remote overall.
+	// Remote supply decided before Begin so the routing path is fixed per
+	// profile: home-only orders pin to the home shard's fast path.
+	supply := make([]uint32, olCnt)
+	remote := false
+	for i := range supply {
+		supply[i] = wk.w
+		if d.cfg.CrossWarehouse && d.cfg.Warehouses > 1 && r.Intn(100) == 0 {
+			supply[i] = wk.remoteWarehouse()
+			remote = true
+			if d.crossesShard(wk.w, supply[i]) {
+				wk.cross = true
+			}
+		}
+	}
+	homeHint := d.shardOfW(wk.w)
+
 	var res newOrderResult
-	err := d.execRetry(func(tx Txn) error {
+	err := d.execRetryOn(wk.w, remote, func(tx Txn) error {
 		// Reset per attempt: a retried attempt must not keep RIDs (olRIDs
 		// especially) accumulated by the conflicted one.
 		res = newOrderResult{dist: dist, cid: cid}
@@ -78,13 +96,13 @@ func (wk *Worker) NewOrder() error {
 			return err
 		}
 		order := Order{W: wk.w, D: dist, ID: res.oid, CID: cid,
-			EntryD: time.Now().UnixNano(), OLCnt: uint32(olCnt), AllLocal: true}
-		res.orderRID, err = tx.Insert(d.t.orders, order.Encode())
+			EntryD: time.Now().UnixNano(), OLCnt: uint32(olCnt), AllLocal: !remote}
+		res.orderRID, err = insertAt(tx, d.t.orders, order.Encode(), homeHint)
 		if err != nil {
 			return err
 		}
 		no := NewOrderRow{W: wk.w, D: dist, OID: res.oid}
-		res.noRID, err = tx.Insert(d.t.newOrder, no.Encode())
+		res.noRID, err = insertAt(tx, d.t.newOrder, no.Encode(), homeHint)
 		if err != nil {
 			return err
 		}
@@ -97,7 +115,7 @@ func (wk *Worker) NewOrder() error {
 			if err != nil {
 				return err
 			}
-			srid := d.stockRID(wk.w, itemID)
+			srid := d.stockRID(supply[line-1], itemID)
 			stock, err := getDecoded(tx, d.t.stock, srid, DecodeStock)
 			if err != nil {
 				return err
@@ -114,9 +132,9 @@ func (wk *Worker) NewOrder() error {
 				return err
 			}
 			ol := OrderLine{W: wk.w, D: dist, OID: res.oid, Number: uint32(line),
-				ItemID: itemID, SupplyW: wk.w, Qty: uint32(qty),
+				ItemID: itemID, SupplyW: supply[line-1], Qty: uint32(qty),
 				Amount: int64(qty) * item.Price, DistInfo: stock.Dist[:24]}
-			olRID, err := tx.Insert(d.t.orderLine, ol.Encode())
+			olRID, err := insertAt(tx, d.t.orderLine, ol.Encode(), homeHint)
 			if err != nil {
 				return err
 			}
@@ -143,14 +161,20 @@ func (wk *Worker) NewOrder() error {
 	return nil
 }
 
-// lookupCustomer resolves a customer by id (60%) or by last name (40%, TPC-C
-// clause 2.5.1.2 — the middle customer of the name group).
+// lookupCustomer resolves a home-warehouse customer by id (60%) or by last
+// name (40%, TPC-C clause 2.5.1.2 — the middle customer of the name group).
 func (wk *Worker) lookupCustomer(dist uint32) uint32 {
+	return wk.lookupCustomerAt(wk.w, dist)
+}
+
+// lookupCustomerAt is lookupCustomer against an arbitrary warehouse —
+// Payment's remote-customer clause selects from another warehouse's district.
+func (wk *Worker) lookupCustomerAt(w, dist uint32) uint32 {
 	d := wk.d
 	if wk.r.Intn(100) < 60 {
 		return d.nu.randCustomerID(wk.r, d.cfg.CustomersPerDistrict)
 	}
-	st := d.state(wk.w, dist)
+	st := d.state(w, dist)
 	name := lastName(d.nu.randLastNameNum(wk.r, d.cfg.CustomersPerDistrict))
 	st.mu.Lock()
 	group := st.byLastName[name]
@@ -162,14 +186,26 @@ func (wk *Worker) lookupCustomer(dist uint32) uint32 {
 }
 
 // Payment runs one Payment transaction: warehouse and district YTD updates,
-// customer balance update, HISTORY insert.
+// customer balance update, HISTORY insert. With CrossWarehouse enabled, 15%
+// of payments are made on behalf of a customer of another warehouse (TPC-C
+// clause 2.5.1.2) — on a sharded backend that customer's row usually lives on
+// another shard and the commit goes through two-phase commit.
 func (wk *Worker) Payment() error {
 	d := wk.d
 	dist := uint32(randRange(wk.r, 1, d.cfg.Districts))
-	cid := wk.lookupCustomer(dist)
+	cw, cd := wk.w, dist
+	remote := false
+	if d.cfg.CrossWarehouse && d.cfg.Warehouses > 1 && wk.r.Intn(100) < 15 {
+		cw = wk.remoteWarehouse()
+		cd = uint32(randRange(wk.r, 1, d.cfg.Districts))
+		remote = true
+		wk.cross = d.crossesShard(wk.w, cw)
+	}
+	cid := wk.lookupCustomerAt(cw, cd)
 	amount := int64(randRange(wk.r, 100, 500000))
+	homeHint := d.shardOfW(wk.w)
 
-	return d.execRetry(func(tx Txn) error {
+	return d.execRetryOn(wk.w, remote, func(tx Txn) error {
 		wrow, err := getDecoded(tx, d.t.warehouse, d.warehouseRID(wk.w), DecodeWarehouse)
 		if err != nil {
 			return err
@@ -186,7 +222,7 @@ func (wk *Worker) Payment() error {
 		if err := tx.Update(d.t.district, d.districtRID(wk.w, dist), drow.Encode()); err != nil {
 			return err
 		}
-		crid := d.customerRID(wk.w, dist, cid)
+		crid := d.customerRID(cw, cd, cid)
 		crow, err := getDecoded(tx, d.t.customer, crid, DecodeCustomer)
 		if err != nil {
 			return err
@@ -195,7 +231,7 @@ func (wk *Worker) Payment() error {
 		crow.YTDPayment += amount
 		crow.PaymentCnt++
 		if crow.Credit == "BC" {
-			data := fmt.Sprintf("%d,%d,%d,%d,%d|%s", cid, dist, wk.w, dist, amount, crow.Data)
+			data := fmt.Sprintf("%d,%d,%d,%d,%d|%s", cid, cd, cw, dist, amount, crow.Data)
 			if len(data) > 250 {
 				data = data[:250]
 			}
@@ -204,9 +240,9 @@ func (wk *Worker) Payment() error {
 		if err := tx.Update(d.t.customer, crid, crow.Encode()); err != nil {
 			return err
 		}
-		h := History{CW: wk.w, CD: dist, CID: cid, W: wk.w, D: dist,
+		h := History{CW: cw, CD: cd, CID: cid, W: wk.w, D: dist,
 			Date: time.Now().UnixNano(), Amount: amount, Data: "payment"}
-		_, err = tx.Insert(d.t.history, h.Encode())
+		_, err = insertAt(tx, d.t.history, h.Encode(), homeHint)
 		return err
 	})
 }
@@ -228,7 +264,7 @@ func (wk *Worker) OrderStatus() error {
 	}
 	st.mu.Unlock()
 
-	return d.execRetry(func(tx Txn) error {
+	return d.execRetryOn(wk.w, false, func(tx Txn) error {
 		if _, err := getDecoded(tx, d.t.customer, d.customerRID(wk.w, dist, cid), DecodeCustomer); err != nil {
 			return err
 		}
@@ -261,7 +297,7 @@ func (wk *Worker) Delivery() error {
 		oid  uint32
 	}
 	var done []delivered
-	err := d.execRetry(func(tx Txn) error {
+	err := d.execRetryOn(wk.w, false, func(tx Txn) error {
 		done = done[:0]
 		for dist := uint32(1); dist <= uint32(d.cfg.Districts); dist++ {
 			st := d.state(wk.w, dist)
@@ -337,7 +373,7 @@ func (wk *Worker) StockLevel() error {
 	dist := uint32(randRange(wk.r, 1, d.cfg.Districts))
 	threshold := int32(randRange(wk.r, 10, 20))
 
-	return d.execRetry(func(tx Txn) error {
+	return d.execRetryOn(wk.w, false, func(tx Txn) error {
 		drow, err := getDecoded(tx, d.t.district, d.districtRID(wk.w, dist), DecodeDistrict)
 		if err != nil {
 			return err

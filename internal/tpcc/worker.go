@@ -44,6 +44,10 @@ type WorkerStats struct {
 	Committed [numTxnTypes]atomic.Int64
 	Aborted   [numTxnTypes]atomic.Int64
 	Errors    [numTxnTypes]atomic.Int64
+	// Cross counts committed transactions that took a remote clause crossing
+	// onto another shard (another warehouse, when the backend is unsharded) —
+	// the transactions that commit through two-phase commit.
+	Cross [numTxnTypes]atomic.Int64
 }
 
 // TotalCommitted sums committed transactions across profiles.
@@ -51,6 +55,15 @@ func (s *WorkerStats) TotalCommitted() int64 {
 	var n int64
 	for i := range s.Committed {
 		n += s.Committed[i].Load()
+	}
+	return n
+}
+
+// TotalCross sums committed cross-shard transactions across profiles.
+func (s *WorkerStats) TotalCross() int64 {
+	var n int64
+	for i := range s.Cross {
+		n += s.Cross[i].Load()
 	}
 	return n
 }
@@ -63,6 +76,9 @@ type Worker struct {
 	w     uint32
 	r     *rand.Rand
 	Stats WorkerStats
+	// cross is set by a profile when its current execution took a remote
+	// clause that crossed shards; RunOne reads it after commit.
+	cross bool
 }
 
 // NewWorker builds the worker for warehouse w (1-based).
@@ -76,6 +92,16 @@ func (d *Driver) NewWorker(w int) *Worker {
 
 // Warehouse returns the worker's home warehouse id.
 func (wk *Worker) Warehouse() uint32 { return wk.w }
+
+// remoteWarehouse draws a uniformly random warehouse other than the home one.
+// Callers must ensure Warehouses > 1.
+func (wk *Worker) remoteWarehouse() uint32 {
+	w := uint32(randRange(wk.r, 1, wk.d.cfg.Warehouses-1))
+	if w >= wk.w {
+		w++
+	}
+	return w
+}
 
 // pick draws a transaction type from the standard TPC-C mix:
 // 45% New-Order, 43% Payment, 4% Order-Status, 4% Delivery, 4% Stock-Level.
@@ -114,10 +140,14 @@ func (wk *Worker) run(t TxnType) error {
 // Intentional New-Order rollbacks count as aborts, not errors.
 func (wk *Worker) RunOne() error {
 	t := wk.pick()
+	wk.cross = false
 	err := wk.run(t)
 	switch {
 	case err == nil:
 		wk.Stats.Committed[t].Add(1)
+		if wk.cross {
+			wk.Stats.Cross[t].Add(1)
+		}
 		return nil
 	case errors.Is(err, errRollback):
 		wk.Stats.Aborted[t].Add(1)

@@ -26,6 +26,22 @@ const (
 	// KindGroup records one commit group: the CID and every operation of
 	// every member transaction, in execution order.
 	KindGroup
+	// KindPrepare records a cross-shard participant's prepared write set
+	// (two-phase commit, phase one). XID identifies the distributed
+	// transaction; Ops is the participant-local write set. A prepare with no
+	// matching KindResolve in the same log is in doubt and is settled at
+	// recovery against the coordinator's decision record.
+	KindPrepare
+	// KindDecision records the coordinator's verdict for a distributed
+	// transaction (commit or abort). It lives in the coordinator shard's log
+	// only; the protocol is presumed-abort, so a missing decision record
+	// means abort.
+	KindDecision
+	// KindResolve marks a prepared transaction settled in this participant's
+	// log. On commit it carries the CID the participant published the write
+	// set under, so replay can order it against surrounding group records;
+	// on abort CID is ts.Invalid and the prepared write set is dropped.
+	KindResolve
 )
 
 // Op is one logged data operation.
@@ -55,6 +71,14 @@ type Record struct {
 	Part  uint32
 	Parts uint32
 	Ops   []Op
+
+	// Two-phase-commit fields (KindPrepare, KindDecision, KindResolve). XID
+	// is the cluster-wide distributed transaction identifier; Commit is the
+	// verdict on a decision or resolve record. A prepare reuses Ops for the
+	// participant-local write set; a commit-resolve reuses CID for the CID
+	// the write set was published under.
+	XID    uint64
+	Commit bool
 }
 
 // appendU32/U64 helpers over binary.LittleEndian.
@@ -80,14 +104,36 @@ func (r *Record) AppendPayload(b []byte) []byte {
 		b = appendU64(b, uint64(r.CID))
 		b = appendU32(b, r.Part)
 		b = appendU32(b, r.Parts)
-		b = appendU32(b, uint32(len(r.Ops)))
-		for _, op := range r.Ops {
-			b = append(b, byte(op.Op))
-			b = appendU32(b, uint32(op.Table))
-			b = appendU64(b, uint64(op.RID))
-			b = appendU32(b, uint32(len(op.Payload)))
-			b = append(b, op.Payload...)
-		}
+		b = appendOps(b, r.Ops)
+	case KindPrepare:
+		b = appendU64(b, r.XID)
+		b = appendOps(b, r.Ops)
+	case KindDecision:
+		b = appendU64(b, r.XID)
+		b = appendBool(b, r.Commit)
+	case KindResolve:
+		b = appendU64(b, r.XID)
+		b = appendBool(b, r.Commit)
+		b = appendU64(b, uint64(r.CID))
+	}
+	return b
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendOps(b []byte, ops []Op) []byte {
+	b = appendU32(b, uint32(len(ops)))
+	for _, op := range ops {
+		b = append(b, byte(op.Op))
+		b = appendU32(b, uint32(op.Table))
+		b = appendU64(b, uint64(op.RID))
+		b = appendU32(b, uint32(len(op.Payload)))
+		b = append(b, op.Payload...)
 	}
 	return b
 }
@@ -134,6 +180,47 @@ func (c *decodeCursor) bytes(n int) ([]byte, error) {
 	return v, nil
 }
 
+func (c *decodeCursor) bool() (bool, error) {
+	v, err := c.u8()
+	return v != 0, err
+}
+
+func (c *decodeCursor) ops() ([]Op, error) {
+	nops, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	var out []Op
+	for i := uint32(0); i < nops; i++ {
+		opb, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		tid, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		rid, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		plen, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		payload, err := c.bytes(int(plen))
+		if err != nil {
+			return nil, err
+		}
+		op := Op{Op: mvcc.OpType(opb), Table: ts.TableID(tid), RID: ts.RID(rid)}
+		if plen > 0 {
+			op.Payload = append([]byte(nil), payload...)
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}
+
 func errTruncated(off, n int) error {
 	return fmt.Errorf("wal: truncated record at offset %d of %d", off, n)
 }
@@ -174,37 +261,35 @@ func DecodePayload(b []byte) (*Record, error) {
 		if r.Parts, err = c.u32(); err != nil {
 			return nil, err
 		}
-		nops, err := c.u32()
+		if r.Ops, err = c.ops(); err != nil {
+			return nil, err
+		}
+	case KindPrepare:
+		if r.XID, err = c.u64(); err != nil {
+			return nil, err
+		}
+		if r.Ops, err = c.ops(); err != nil {
+			return nil, err
+		}
+	case KindDecision:
+		if r.XID, err = c.u64(); err != nil {
+			return nil, err
+		}
+		if r.Commit, err = c.bool(); err != nil {
+			return nil, err
+		}
+	case KindResolve:
+		if r.XID, err = c.u64(); err != nil {
+			return nil, err
+		}
+		if r.Commit, err = c.bool(); err != nil {
+			return nil, err
+		}
+		cid, err := c.u64()
 		if err != nil {
 			return nil, err
 		}
-		for i := uint32(0); i < nops; i++ {
-			opb, err := c.u8()
-			if err != nil {
-				return nil, err
-			}
-			tid, err := c.u32()
-			if err != nil {
-				return nil, err
-			}
-			rid, err := c.u64()
-			if err != nil {
-				return nil, err
-			}
-			plen, err := c.u32()
-			if err != nil {
-				return nil, err
-			}
-			payload, err := c.bytes(int(plen))
-			if err != nil {
-				return nil, err
-			}
-			op := Op{Op: mvcc.OpType(opb), Table: ts.TableID(tid), RID: ts.RID(rid)}
-			if plen > 0 {
-				op.Payload = append([]byte(nil), payload...)
-			}
-			r.Ops = append(r.Ops, op)
-		}
+		r.CID = ts.CID(cid)
 	default:
 		return nil, fmt.Errorf("wal: unknown record kind %d", kind)
 	}

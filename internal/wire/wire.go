@@ -61,6 +61,15 @@ const (
 	// discipline ends — the primary pushes Rm* messages (see repl.go) and
 	// the replica writes RmReport frames back on the same connection.
 	OpReplStream
+	// OpBeginShard begins a transaction pinned to one shard (U32 shard,
+	// Bool transSI) — the sharded engine's single-shard fast path.
+	OpBeginShard
+	// OpInsertAt is OpInsert with a shard-placement hint (U32 tid, U32
+	// shard, Bytes img); a single-node server treats it as OpInsert.
+	OpInsertAt
+	// OpSetPlacement installs a table's shard-placement policy (U32 tid,
+	// U8 kind, U64 size, U32 shard) before the table receives rows.
+	OpSetPlacement
 )
 
 // Response statuses.
@@ -599,6 +608,24 @@ type Stats struct {
 	ReplDemotions int64
 	// Replicas is the primary's per-replica view.
 	Replicas []ReplicaStat
+
+	// Shards is the per-shard breakdown on a sharded engine (empty on a
+	// single-node server, where the top-level fields already tell the whole
+	// story). Appended at the end of the frame so older peers simply never
+	// read it.
+	Shards []ShardStat
+}
+
+// ShardStat is one shard's engine indicators — the subset gcmon renders
+// per-shard and the routing client needs for awareness.
+type ShardStat struct {
+	VersionsLive      int64
+	VersionsReclaimed int64
+	ActiveSnapshots   int64
+	TxnsCommitted     int64
+	CurrentCID        ts.CID
+	GlobalHorizon     ts.CID
+	FailStop          bool
 }
 
 // ReplicaStat is one replica's state as the primary tracks it.
@@ -642,6 +669,13 @@ func (s *Stats) Encode(w *Builder) {
 		w.U64(rs.AppliedLSN).U64(uint64(rs.PinnedSTS)).U64(rs.FloorSegment)
 		w.I64(rs.SegmentLag).I64(int64(rs.LastReportAge))
 	}
+	w.U16(uint16(len(s.Shards)))
+	for _, sh := range s.Shards {
+		w.I64(sh.VersionsLive).I64(sh.VersionsReclaimed)
+		w.I64(sh.ActiveSnapshots).I64(sh.TxnsCommitted)
+		w.U64(uint64(sh.CurrentCID)).U64(uint64(sh.GlobalHorizon))
+		w.Bool(sh.FailStop)
+	}
 }
 
 // DecodeStats reads a stats payload.
@@ -671,6 +705,15 @@ func DecodeStats(r *Parser) Stats {
 		rs.AppliedLSN, rs.PinnedSTS, rs.FloorSegment = r.U64(), ts.CID(r.U64()), r.U64()
 		rs.SegmentLag, rs.LastReportAge = r.I64(), time.Duration(r.I64())
 		s.Replicas = append(s.Replicas, rs)
+	}
+	n = int(r.U16())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var sh ShardStat
+		sh.VersionsLive, sh.VersionsReclaimed = r.I64(), r.I64()
+		sh.ActiveSnapshots, sh.TxnsCommitted = r.I64(), r.I64()
+		sh.CurrentCID, sh.GlobalHorizon = ts.CID(r.U64()), ts.CID(r.U64())
+		sh.FailStop = r.Bool()
+		s.Shards = append(s.Shards, sh)
 	}
 	return s
 }
