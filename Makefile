@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json bench-smoke chaos-smoke shard-smoke clean
+.PHONY: all build vet test race check bench bench-json bench-smoke chaos-smoke shard-smoke htap-smoke clean
 
 all: check
 
@@ -18,7 +18,7 @@ test:
 # sharded engine and its 2PC path, the lock-free hash table, and the
 # WAL/wire hot paths) with -short to keep CI latency sane.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/txn/... ./internal/gc/... ./internal/mvcc/... ./internal/sql/... ./internal/server/... ./internal/client/... ./internal/repl/... ./internal/wal/... ./internal/wire/... ./internal/netfault/... ./internal/chaos/... ./internal/shard/...
+	$(GO) test -race -short ./internal/core/... ./internal/txn/... ./internal/gc/... ./internal/mvcc/... ./internal/sql/... ./internal/server/... ./internal/client/... ./internal/repl/... ./internal/wal/... ./internal/wire/... ./internal/netfault/... ./internal/chaos/... ./internal/shard/... ./internal/htap/...
 
 check: vet build test race
 
@@ -33,7 +33,7 @@ bench-json:
 # CI smoke: one iteration of every hot-path micro-benchmark, so bench code
 # cannot rot without failing the build.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit|BenchmarkShardedCommit' -benchtime=1x . ./internal/mvcc ./internal/wire ./internal/wal ./internal/shard
+	$(GO) test -run '^$$' -bench 'BenchmarkOLAPScan|BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit|BenchmarkShardedCommit' -benchtime=1x . ./internal/mvcc ./internal/wire ./internal/wal ./internal/shard ./internal/htap
 
 # CI smoke: the deterministic network-chaos harness over a small fixed seed
 # set. Each seed runs the replicated cluster + bank workload under a seeded
@@ -48,6 +48,13 @@ chaos-smoke:
 # cross-shard 2PC) end to end.
 shard-smoke:
 	bash ./scripts/shard-smoke.sh
+
+# CI smoke: mixed OLTP/OLAP over loopback against `hybridgcd -htap`. TPC-C
+# workers drive the row store while OLAP analysts run column-lane aggregates
+# through the wire AGGREGATE verb; the script asserts the migrator actually
+# shipped rows into chunks during the run.
+htap-smoke:
+	bash ./scripts/htap-smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -32,9 +32,9 @@ import (
 
 // microPattern selects the hot-path micro-benchmarks named in the baseline
 // contract; microPackages is where they live.
-const microPattern = "BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit|BenchmarkShardedCommit"
+const microPattern = "BenchmarkOLAPScan|BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit|BenchmarkShardedCommit"
 
-var microPackages = []string{".", "./internal/mvcc", "./internal/wire", "./internal/wal", "./internal/shard"}
+var microPackages = []string{".", "./internal/mvcc", "./internal/wire", "./internal/wal", "./internal/shard", "./internal/htap"}
 
 // benchShards is the shard count BenchmarkShardedCommit scales to (its
 // shards=N sub-benchmark); recorded in the baseline metadata.
@@ -67,12 +67,12 @@ type FigureJSON struct {
 // parallelism context the numbers were taken under — shard-scaling results
 // are meaningless without knowing how many cores the run actually had.
 type Baseline struct {
-	Date       string       `json:"date"`
-	GoVersion  string       `json:"go"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	CPUs       int          `json:"cpus"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 	// Shards is the shard count the sharded benchmarks scale up to
 	// (BenchmarkShardedCommit runs shards=1 vs shards=N).
 	Shards    int          `json:"shards"`

@@ -169,6 +169,9 @@ func monitorRemote(addr, token string, duration, interval time.Duration) {
 			for _, line := range fmtShards(st) {
 				fmt.Println(line)
 			}
+			for _, line := range fmtHTAP(st) {
+				fmt.Println(line)
+			}
 			for _, line := range fmtRepl(st) {
 				fmt.Println(line)
 			}
@@ -180,6 +183,9 @@ func monitorRemote(addr, token string, duration, interval time.Duration) {
 			fmt.Printf("\nfinal: versions=%d reclaimed=%d migrated=%d cursors open=%d failstop=%v\n",
 				st.VersionsLive, st.VersionsReclaimed, st.VersionsMigrated, st.CursorsOpen, st.FailStop)
 			for _, line := range fmtShards(st) {
+				fmt.Println(line)
+			}
+			for _, line := range fmtHTAP(st) {
 				fmt.Println(line)
 			}
 			for _, line := range fmtRepl(st) {
@@ -209,6 +215,21 @@ func fmtShards(st wire.Stats) []string {
 			"  shard %-2d live=%-10d horizon=%-10d cid=%-10d reclaimed=%-10d snaps=%-4d committed=%d%s",
 			i, s.VersionsLive, s.GlobalHorizon, s.CurrentCID, s.VersionsReclaimed,
 			s.ActiveSnapshots, s.TxnsCommitted, flag))
+	}
+	return lines
+}
+
+// fmtHTAP renders the column-lane state carried in a remote STATS payload:
+// one line per lane-enabled table showing how much of it is columnar, what
+// still rides the row-store delta or dirty set, and how far the migrator's
+// watermark trails the commit timestamp. Empty when no lanes are enabled,
+// so the classic display is untouched.
+func fmtHTAP(st wire.Stats) []string {
+	lines := make([]string, 0, len(st.HTAP))
+	for _, h := range st.HTAP {
+		lines = append(lines, fmt.Sprintf(
+			"  htap: %-12s chunks=%-4d rows=%-10d delta=%-8d dirty=%-8d migrated=%-10d wm=%-10d lag=%d",
+			h.Name, h.Chunks, h.ChunkRows, h.DeltaRows, h.DirtyRows, h.MigratedRows, h.Watermark, h.Lag))
 	}
 	return lines
 }

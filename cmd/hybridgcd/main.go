@@ -14,6 +14,13 @@
 // with ErrReadOnly. A demoted replica (too far behind the primary's segment
 // retention) automatically rebuilds itself from a fresh checkpoint.
 //
+// With -htap the process runs the background row→column migrator: clients
+// arm tables with the HTAP-ENABLE verb (client.EnableHTAP), after which
+// committed versions older than the GC horizon are shipped into
+// dictionary-encoded column chunks and lane-eligible aggregates
+// (client.Aggregate, or SELECT SUM(col) /* aggregate */ FROM t) are served
+// from columnar batches instead of MVCC row reads.
+//
 // SIGTERM / SIGINT drain gracefully: the listener closes, in-flight requests
 // finish and get their responses, replication streams end with a drain
 // notice, and every open cursor is closed so its pinned snapshot stops
@@ -40,6 +47,7 @@ import (
 	"hybridgc/internal/core"
 	"hybridgc/internal/engine"
 	"hybridgc/internal/gc"
+	"hybridgc/internal/htap"
 	"hybridgc/internal/profiling"
 	"hybridgc/internal/repl"
 	"hybridgc/internal/server"
@@ -65,6 +73,9 @@ type options struct {
 
 	replStale time.Duration
 	replWrite time.Duration
+
+	htapOn    bool
+	htapEvery time.Duration
 }
 
 func main() {
@@ -88,6 +99,9 @@ func main() {
 
 		replStale = flag.Duration("repl-stale-after", 0, "demote a silent replica after this long; replica: tolerated primary silence (0 selects defaults)")
 		replWrite = flag.Duration("repl-write-timeout", 0, "per-write deadline on replication streams (0 selects the default)")
+
+		htapOn    = flag.Bool("htap", false, "run the background row→column migrator; clients arm tables with the HTAP-ENABLE verb")
+		htapEvery = flag.Duration("htap-every", 25*time.Millisecond, "migrator pass interval (requires -htap)")
 	)
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
@@ -117,6 +131,7 @@ func main() {
 		data: *data, sync: *syncWAL, ckptEvery: *ckptEvery,
 		replicaOf: *replicaOf, replicaID: *replicaID, upstreamTok: *upstreamTok,
 		replStale: *replStale, replWrite: *replWrite,
+		htapOn: *htapOn, htapEvery: *htapEvery,
 	}
 	if opts.shards > 1 && opts.replicaOf != "" {
 		fmt.Fprintln(os.Stderr, "hybridgcd: -shards > 1 is incompatible with -replica-of (replicas are single-node)")
@@ -201,6 +216,15 @@ func runPrimary(opts options, sig <-chan os.Signal) {
 	if err != nil {
 		fatal(err)
 	}
+	if opts.htapOn {
+		hm, err := htap.NewManager(eng, htap.Config{Interval: opts.htapEvery})
+		if err != nil {
+			fatal(err)
+		}
+		srv.Catalog().AttachHTAP(hm)
+		hm.Start()
+		defer hm.Stop()
+	}
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		fatal(err)
@@ -211,6 +235,9 @@ func runPrimary(opts options, sig <-chan os.Signal) {
 		role = fmt.Sprintf("sharded x%d", opts.shards)
 	case src != nil:
 		role = "primary"
+	}
+	if opts.htapOn {
+		role += "+htap"
 	}
 	fmt.Printf("hybridgcd: listening on %s (role=%s gc=%s maxconns=%d)\n", ln.Addr(), role, opts.gcMode, opts.maxConns)
 

@@ -46,6 +46,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		shards     = flag.Int("shards", 1, "run the in-process engine sharded N ways (local mode only)")
 		cross      = flag.Bool("cross", false, "enable TPC-C remote clauses (15% remote Payment, 1% remote supply per NewOrder line); auto-enabled when sharded")
+		olap       = flag.Int("olap", 0, "OLAP analysts running column-lane aggregates beside the OLTP load (remote mode; server needs -htap)")
 		addr       = flag.String("addr", "", "hybridgcd address; empty runs the engine in-process")
 		token      = flag.String("token", "", "auth token for -addr")
 		checkAddr  = flag.String("check-addr", "", "read-only endpoint (e.g. a replica) to run the consistency check against")
@@ -72,6 +73,10 @@ func main() {
 	}
 	if remote && *cursor {
 		fmt.Fprintln(os.Stderr, "-cursor is local-only; the remote pinned-snapshot scenario is examples/network")
+		os.Exit(2)
+	}
+	if *olap > 0 && !remote {
+		fmt.Fprintln(os.Stderr, "-olap is remote-only; the in-process mixed workload is `benchjson -figure ext2`")
 		os.Exit(2)
 	}
 	if err := profiling.Start(prof); err != nil {
@@ -166,6 +171,13 @@ func main() {
 	}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
+	var ol *olapLoad
+	if *olap > 0 {
+		if ol, err = startOLAP(cl, *olap, *warehouses, stop, &wg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("olap: %d analysts aggregating over the column lane\n", *olap)
+	}
 	workers := make([]*tpcc.Worker, *warehouses)
 	start := time.Now()
 	for w := 1; w <= *warehouses; w++ {
@@ -194,6 +206,9 @@ func main() {
 	stmts := statements(eng, cl) - startStmts
 	fmt.Printf("\nthroughput: %.0f committed statements/s (%d statements in %v)\n",
 		float64(stmts)/elapsed.Seconds(), stmts, elapsed.Round(time.Millisecond))
+	if ol != nil {
+		ol.report(cl, elapsed)
+	}
 	for t := tpcc.TxnNewOrder; t <= tpcc.TxnStockLevel; t++ {
 		var committed, aborted, crossed int64
 		for _, wk := range workers {

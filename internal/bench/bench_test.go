@@ -12,8 +12,8 @@ func quickSuite() *Suite {
 
 func TestFiguresList(t *testing.T) {
 	ids := Figures()
-	if len(ids) != 11 {
-		t.Fatalf("expected 10 figures + 1 extension, got %v", ids)
+	if len(ids) != 12 {
+		t.Fatalf("expected 10 figures + 2 extensions, got %v", ids)
 	}
 	s := quickSuite()
 	if _, err := s.Run("fig99"); err == nil {
@@ -108,6 +108,32 @@ func TestReportRendering(t *testing.T) {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("missing %q in:\n%s", want, buf.String())
 		}
+	}
+}
+
+func TestExt2HTAPLane(t *testing.T) {
+	s := quickSuite()
+	rep, err := s.Run("ext2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 4 {
+		t.Fatalf("ext2 series = %d", len(rep.Series))
+	}
+	// The lane leg must complete more aggregates than the row leg. Quick
+	// runs are tiny, so just require it not to lose; the acceptance-bar
+	// speedup is measured by BenchmarkOLAPScan on settled data.
+	laneQPS := rep.Series[0].Series.Mean()
+	rowQPS := rep.Series[1].Series.Mean()
+	if laneQPS < rowQPS*0.5 {
+		t.Fatalf("lane OLAP throughput %.1f collapsed vs row %.1f", laneQPS, rowQPS)
+	}
+	var buf bytes.Buffer
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "olap-qps(lane)") {
+		t.Fatalf("ext2 report incomplete:\n%s", buf.String())
 	}
 }
 

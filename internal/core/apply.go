@@ -131,6 +131,13 @@ func (db *DB) ApplyRecord(r *wal.Record) error {
 			return nil
 		}
 		return db.ApplyGroup(cid, ops)
+	case wal.KindHTAPLane:
+		// Lane enablement replicates as metadata only: the replica remembers
+		// it (rememberLane) so a promoted replica re-enables the same lanes;
+		// chunks rebuild locally from the applied table state.
+		db.asm.Abandon()
+		db.rememberLane(r.TableID, r.TableName, r.CID)
+		return nil
 	default:
 		return fmt.Errorf("core: replicated record of unknown kind %d", r.Kind)
 	}

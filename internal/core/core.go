@@ -143,6 +143,22 @@ type DB struct {
 
 	// pressure is the version-budget controller, nil when unconfigured.
 	pressure *pressure
+
+	// lanes records HTAP column-lane enablement per table — seeded from
+	// recovered KindHTAPLane records, extended by EnableHTAPLane, re-logged by
+	// Checkpoint so segment pruning never loses them. The chunks themselves
+	// are never persisted; the lane manager rebuilds them from table state.
+	lanesMu sync.Mutex
+	lanes   map[ts.TableID]HTAPLaneMeta
+}
+
+// HTAPLaneMeta is the durable description of one enabled HTAP column lane:
+// the schema spec the migrator decodes row images with, and the chunk
+// watermark last recorded for it (informational — chunks rebuild from table
+// state regardless).
+type HTAPLaneMeta struct {
+	Spec      string
+	Watermark ts.CID
 }
 
 // Open creates a database. With Persistence configured it first recovers the
@@ -190,6 +206,12 @@ func Open(cfg Config) (*DB, error) {
 		fail:       fail,
 		readOnly:   cfg.ReadOnly,
 		recovery:   recoverySum,
+		lanes:      make(map[ts.TableID]HTAPLaneMeta),
+	}
+	if recoverySum != nil {
+		for tid, lane := range recoverySum.HTAPLanes {
+			db.lanes[tid] = lane
+		}
 	}
 	db.hybrid.TG.Resolver = db.partitionResolver
 	if cfg.CooperativeGC {
@@ -455,6 +477,95 @@ func (db *DB) tableByID(id ts.TableID) (*table.Table, error) {
 		return t, nil
 	}
 	return nil, ErrTableNotFound
+}
+
+// TableMaxRID returns the highest RID ever allocated in the table — the
+// upper bound of the dense RID range scans walk.
+func (db *DB) TableMaxRID(tid ts.TableID) (ts.RID, error) {
+	tbl, err := db.tableByID(tid)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.MaxRID(), nil
+}
+
+// ObserveTableWrites installs fn as the table's write observer: it fires on
+// every table-space mutation of a record (version-chain flag flips, image
+// installs by garbage collection, drops) with the affected RID. The HTAP
+// lane uses it for sticky dirty tracking over chunk-covered rows. fn runs
+// under the version-chain latch — it must be cheap and must not re-enter
+// the engine. nil removes the observer.
+func (db *DB) ObserveTableWrites(tid ts.TableID, fn func(ts.RID)) error {
+	tbl, err := db.tableByID(tid)
+	if err != nil {
+		return err
+	}
+	tbl.SetWriteObserver(fn)
+	return nil
+}
+
+// RecordState probes one record's migration eligibility: ok reports the
+// record exists (not a hole, not dropped); versioned reports it still has a
+// version chain — some registered snapshot may need an older version, so
+// the HTAP migrator must not treat its table-space image as final. For a
+// settled record (ok && !versioned) img is the single retained image, the
+// version every registered snapshot sees.
+func (db *DB) RecordState(tid ts.TableID, rid ts.RID) (img []byte, versioned, ok bool) {
+	tbl := db.cat.ByID(tid)
+	if tbl == nil {
+		return nil, false, false
+	}
+	rec := tbl.Get(rid)
+	if rec == nil || rec.Dropped() {
+		return nil, false, false
+	}
+	if rec.Versioned() {
+		return nil, true, true
+	}
+	img = rec.Image()
+	if img == nil {
+		// The row's INSERT has not settled out of the version space yet and
+		// the chain is gone (rolled back) — nothing visible.
+		return nil, false, false
+	}
+	return img, false, true
+}
+
+// EnableHTAPLane durably records HTAP column-lane enablement for the table:
+// the lane survives restarts via a KindHTAPLane log record (re-logged by
+// every checkpoint), and HTAPLanes reports it so the lane manager can
+// re-enable after recovery. Idempotent per table; the latest spec wins.
+func (db *DB) EnableHTAPLane(tid ts.TableID, spec string, watermark ts.CID) error {
+	if _, err := db.tableByID(tid); err != nil {
+		return err
+	}
+	db.rememberLane(tid, spec, watermark)
+	if db.log == nil {
+		return nil
+	}
+	return db.log.Append(&wal.Record{
+		Kind: wal.KindHTAPLane, TableID: tid, TableName: spec, CID: watermark,
+	})
+}
+
+// rememberLane records lane enablement in memory (recovery, replication
+// apply, and EnableHTAPLane all funnel through here).
+func (db *DB) rememberLane(tid ts.TableID, spec string, watermark ts.CID) {
+	db.lanesMu.Lock()
+	db.lanes[tid] = HTAPLaneMeta{Spec: spec, Watermark: watermark}
+	db.lanesMu.Unlock()
+}
+
+// HTAPLanes returns the tables with HTAP lane enablement on record —
+// recovered from the log plus those enabled this run.
+func (db *DB) HTAPLanes() map[ts.TableID]HTAPLaneMeta {
+	db.lanesMu.Lock()
+	defer db.lanesMu.Unlock()
+	out := make(map[ts.TableID]HTAPLaneMeta, len(db.lanes))
+	for tid, lane := range db.lanes {
+		out[tid] = lane
+	}
+	return out
 }
 
 // Stats is a point-in-time view of the engine, covering the indicators the

@@ -306,6 +306,17 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 			return fail(err)
 		}
 		return ok(c.b().U64(uint64(rid)))
+	case wire.OpHTAPEnable:
+		name := r.Str()
+		if err := firstErr(r); err != nil {
+			return fail(err)
+		}
+		if err := c.srv.cat.EnableHTAP(name); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+	case wire.OpAggregate:
+		return c.aggregate(r)
 	case wire.OpSetPlacement:
 		tid := ts.TableID(r.U32())
 		p := engine.Placement{Kind: engine.PlacementKind(r.U8()), Size: r.U64(), Shard: int(r.U32())}
@@ -416,6 +427,37 @@ func (c *conn) exec(r *wire.Parser) (byte, []byte) {
 	}
 	w := c.b()
 	w.Str(res.Message).U32(uint32(res.Affected))
+	wire.PutStrings(w, res.Columns)
+	wire.PutRows(w, toWireRows(res.Rows))
+	return ok(w)
+}
+
+// aggNames maps OpAggregate's op byte to the SQL aggregate keyword; the
+// order matches htap.AggOp.
+var aggNames = [...]string{"COUNT", "SUM", "MIN", "MAX"}
+
+// aggregate serves OpAggregate: a synthesized aggregate SELECT that takes
+// the column lane when one is enabled for the table and the row path
+// otherwise. Pure read, so clients treat it as idempotent.
+func (c *conn) aggregate(r *wire.Parser) (byte, []byte) {
+	table, op := r.Str(), int(r.U8())
+	col, groupBy := r.Str(), r.Str()
+	if err := firstErr(r); err != nil {
+		return fail(err)
+	}
+	if op < 0 || op >= len(aggNames) {
+		return fail(fmt.Errorf("%w: aggregate op %d", wire.ErrBadRequest, op))
+	}
+	res, err := c.sess.Run(&sql.SelectStmt{
+		Table:     table,
+		Aggregate: aggNames[op],
+		AggColumn: col,
+		GroupBy:   groupBy,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	w := c.b()
 	wire.PutStrings(w, res.Columns)
 	wire.PutRows(w, toWireRows(res.Rows))
 	return ok(w)

@@ -324,6 +324,22 @@ func (s *Server) Stats() wire.Stats {
 			})
 		}
 	}
+	if m := s.cat.HTAP(); m != nil {
+		for _, ls := range m.Stats() {
+			out.HTAP = append(out.HTAP, wire.HTAPStat{
+				Name:         ls.Name,
+				Table:        uint32(ls.Table),
+				Chunks:       int64(ls.Chunks),
+				ChunkRows:    ls.ChunkRows,
+				DeltaRows:    ls.DeltaRows,
+				DirtyRows:    ls.DirtyRows,
+				MigratedRows: ls.MigratedRows,
+				Watermark:    uint64(ls.Watermark),
+				Lag:          uint64(ls.Lag),
+				Passes:       ls.Passes,
+			})
+		}
+	}
 	if hook := s.cfg.StatsHook; hook != nil {
 		hook(&out)
 	}

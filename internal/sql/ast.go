@@ -116,17 +116,20 @@ type InsertStmt struct {
 	Values []Datum
 }
 
-// SelectStmt is SELECT cols|*|COUNT(*)|SUM(col) FROM table [WHERE ...]
-// [ORDER BY col [DESC]] [LIMIT n].
+// SelectStmt is SELECT cols|*|COUNT(*)|SUM(col)|MIN(col)|MAX(col) FROM
+// table [WHERE ...] [GROUP BY col] [ORDER BY col [DESC]] [LIMIT n].
 type SelectStmt struct {
 	Table   string
 	Columns []string // nil = *
-	// Aggregate is "", "COUNT" or "SUM"; SumColumn names SUM's argument.
+	// Aggregate is "", "COUNT", "SUM", "MIN" or "MAX"; AggColumn names the
+	// aggregate's argument (empty for COUNT(*)).
 	Aggregate string
-	SumColumn string
-	Where     []Condition
-	Order     *OrderBy
-	Limit     int // 0 = unlimited
+	AggColumn string
+	// GroupBy names the GROUP BY column (aggregate queries only).
+	GroupBy string
+	Where   []Condition
+	Order   *OrderBy
+	Limit   int // 0 = unlimited
 }
 
 // UpdateStmt is UPDATE table SET col = v, ... [WHERE ...].

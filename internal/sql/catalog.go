@@ -9,6 +9,7 @@ import (
 
 	"hybridgc/internal/core"
 	"hybridgc/internal/engine"
+	"hybridgc/internal/htap"
 	"hybridgc/internal/ts"
 	"hybridgc/internal/txn"
 )
@@ -81,6 +82,7 @@ type Catalog struct {
 
 	mu     sync.RWMutex
 	tables map[string]*TableInfo
+	htap   *htap.Manager
 }
 
 // NewCatalog builds the SQL catalog over a single-node database — the

@@ -1,7 +1,7 @@
 // Package sql implements a small SQL front end over the engine: CREATE
-// TABLE / CREATE INDEX, INSERT, SELECT (point, scan, and COUNT/SUM
-// aggregates), UPDATE, DELETE, and BEGIN/COMMIT/ROLLBACK with both
-// isolation variants. Statements compile to plans that carry their complete
+// TABLE / CREATE INDEX, INSERT, SELECT (point, scan, and
+// COUNT/SUM/MIN/MAX aggregates with optional GROUP BY), UPDATE, DELETE,
+// and BEGIN/COMMIT/ROLLBACK with both isolation variants. Statements compile to plans that carry their complete
 // table scope, which is exactly how the paper's table garbage collector
 // learns a statement snapshot's scope a priori: "under Stmt-SI ... the
 // complete set of the accessed tables within that snapshot can be retrieved
@@ -43,7 +43,7 @@ var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
 	"UPDATE": true, "SET": true, "DELETE": true,
 	"INT": true, "TEXT": true,
-	"COUNT": true, "SUM": true,
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "GROUP": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true,
 	"TRANSACTION": true, "SNAPSHOT": true, "STATEMENT": true,
 	"LIMIT": true, "ORDER": true, "BY": true, "ASC": true, "DESC": true,
@@ -69,6 +69,14 @@ func lex(input string) ([]token, error) {
 		switch {
 		case unicode.IsSpace(c):
 			i++
+		case c == '/' && i+1 < n && input[i+1] == '*':
+			// Block comment, e.g. the conventional /* aggregate */ hint on
+			// OLAP statements. Skipped like whitespace.
+			end := strings.Index(input[i+2:], "*/")
+			if end < 0 {
+				return nil, &lexError{pos: i, msg: "unterminated comment"}
+			}
+			i += 2 + end + 2
 		case c == '\'': // string literal with '' escaping
 			start := i
 			i++

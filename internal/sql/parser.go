@@ -244,7 +244,8 @@ func (p *parser) selectStmt() (Statement, error) {
 			return nil, err
 		}
 		s.Aggregate = "COUNT"
-	case p.acceptKeyword("SUM"):
+	case p.acceptKeyword("SUM"), p.acceptKeyword("MIN"), p.acceptKeyword("MAX"):
+		agg := p.toks[p.i-1].text
 		if err := p.expectSymbol("("); err != nil {
 			return nil, err
 		}
@@ -255,8 +256,8 @@ func (p *parser) selectStmt() (Statement, error) {
 		if err := p.expectSymbol(")"); err != nil {
 			return nil, err
 		}
-		s.Aggregate = "SUM"
-		s.SumColumn = strings.ToLower(col)
+		s.Aggregate = agg
+		s.AggColumn = strings.ToLower(col)
 	default:
 		for {
 			col, err := p.identifier("column name")
@@ -280,6 +281,19 @@ func (p *parser) selectStmt() (Statement, error) {
 	s.Table = tbl
 	if s.Where, err = p.whereClause(); err != nil {
 		return nil, err
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.identifier("column name")
+		if err != nil {
+			return nil, err
+		}
+		if s.Aggregate == "" {
+			return nil, p.errf("GROUP BY requires an aggregate select list")
+		}
+		s.GroupBy = strings.ToLower(col)
 	}
 	if p.acceptKeyword("ORDER") {
 		if err := p.expectKeyword("BY"); err != nil {

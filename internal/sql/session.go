@@ -355,6 +355,9 @@ func (s *Session) execSelect(tx engine.Tx, st *SelectStmt) (*Result, error) {
 		}
 		return nil, err
 	}
+	if res, ok, err := s.laneAggregate(t, st); ok {
+		return res, err
+	}
 	iter := func(fn func(ts.RID, []Datum) (bool, error)) error {
 		return s.forEachMatch(tx, t, st.Where, fn)
 	}
@@ -364,35 +367,8 @@ func (s *Session) execSelect(tx engine.Tx, st *SelectStmt) (*Result, error) {
 // selectPipeline runs aggregation / projection / ORDER BY / LIMIT over the
 // iterator.
 func (s *Session) selectPipeline(t *TableInfo, iter rowIter, st *SelectStmt) (*Result, error) {
-	// Aggregates.
-	switch st.Aggregate {
-	case "COUNT":
-		n := int64(0)
-		err := iter(func(ts.RID, []Datum) (bool, error) {
-			n++
-			return true, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Columns: []string{"count"}, Rows: [][]Datum{{IntD(n)}}}, nil
-	case "SUM":
-		ci, err := t.ColumnIndex(st.SumColumn)
-		if err != nil {
-			return nil, err
-		}
-		if t.Columns[ci].Type != TInt {
-			return nil, fmt.Errorf("%w: SUM over %s column %s", ErrTypeMismatch, t.Columns[ci].Type, st.SumColumn)
-		}
-		var sum int64
-		err = iter(func(_ ts.RID, row []Datum) (bool, error) {
-			sum += row[ci].I
-			return true, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Columns: []string{"sum"}, Rows: [][]Datum{{IntD(sum)}}}, nil
+	if st.Aggregate != "" {
+		return s.aggregateRows(t, iter, st)
 	}
 
 	// Projection.
@@ -455,6 +431,107 @@ func (s *Session) selectPipeline(t *TableInfo, iter rowIter, st *SelectStmt) (*R
 	res := &Result{Columns: cols}
 	for _, m := range matched {
 		res.Rows = append(res.Rows, m.out)
+	}
+	return res, nil
+}
+
+// aggCell accumulates one aggregate group on the row path; the same four
+// accumulators the column lane keeps, so both paths produce identical
+// results.
+type aggCell struct {
+	count int64
+	sum   int64
+	min   int64
+	max   int64
+}
+
+func (a *aggCell) add(v int64) {
+	if a.count == 0 {
+		a.min, a.max = v, v
+	} else {
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	a.count++
+	a.sum += v
+}
+
+func (a *aggCell) result(agg string) int64 {
+	switch agg {
+	case "SUM":
+		return a.sum
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	default:
+		return a.count
+	}
+}
+
+// aggregateRows computes COUNT/SUM/MIN/MAX (optionally GROUP BY) over the
+// row iterator — the fallback when no column lane serves the query.
+func (s *Session) aggregateRows(t *TableInfo, iter rowIter, st *SelectStmt) (*Result, error) {
+	ci := -1
+	if st.AggColumn != "" {
+		var err error
+		ci, err = t.ColumnIndex(st.AggColumn)
+		if err != nil {
+			return nil, err
+		}
+		if t.Columns[ci].Type != TInt {
+			return nil, fmt.Errorf("%w: %s over %s column %s",
+				ErrTypeMismatch, st.Aggregate, t.Columns[ci].Type, st.AggColumn)
+		}
+	}
+	aggName := strings.ToLower(st.Aggregate)
+	if st.GroupBy == "" {
+		var a aggCell
+		err := iter(func(_ ts.RID, row []Datum) (bool, error) {
+			var v int64
+			if ci >= 0 {
+				v = row[ci].I
+			}
+			a.add(v)
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Columns: []string{aggName}, Rows: [][]Datum{{IntD(a.result(st.Aggregate))}}}, nil
+	}
+	gi, err := t.ColumnIndex(st.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	cells := map[Datum]*aggCell{}
+	var order []Datum
+	err = iter(func(_ ts.RID, row []Datum) (bool, error) {
+		key := row[gi]
+		c := cells[key]
+		if c == nil {
+			c = &aggCell{}
+			cells[key] = c
+			order = append(order, key)
+		}
+		var v int64
+		if ci >= 0 {
+			v = row[ci].I
+		}
+		c.add(v)
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Less(order[j]) })
+	res := &Result{Columns: []string{st.GroupBy, aggName}}
+	for _, key := range order {
+		res.Rows = append(res.Rows, []Datum{key, IntD(cells[key].result(st.Aggregate))})
 	}
 	return res, nil
 }

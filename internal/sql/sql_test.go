@@ -88,8 +88,15 @@ func TestParseShapes(t *testing.T) {
 		t.Fatalf("begin snapshot: %+v, %v", st, err)
 	}
 	st, err = Parse("SELECT SUM(balance) FROM accounts")
-	if err != nil || st.(*SelectStmt).Aggregate != "SUM" || st.(*SelectStmt).SumColumn != "balance" {
+	if err != nil || st.(*SelectStmt).Aggregate != "SUM" || st.(*SelectStmt).AggColumn != "balance" {
 		t.Fatalf("sum: %+v, %v", st, err)
+	}
+	st, err = Parse("SELECT MAX(balance) /* aggregate */ FROM accounts GROUP BY city")
+	if err != nil || st.(*SelectStmt).Aggregate != "MAX" || st.(*SelectStmt).GroupBy != "city" {
+		t.Fatalf("max group by: %+v, %v", st, err)
+	}
+	if _, err = Parse("SELECT * FROM accounts GROUP BY city"); err == nil {
+		t.Fatalf("GROUP BY without aggregate should fail")
 	}
 }
 

@@ -50,6 +50,7 @@ func (r *Record) Dropped() bool { return r.dropped.Load() }
 // newest reclaimable image into the table space.
 func (r *Record) InstallImage(img []byte) {
 	r.image.Store(&img)
+	r.tbl.notifyWrite(r.key.RID)
 }
 
 // DropRecord implements mvcc.RecordRef: a migrated DELETE (or a rolled-back
@@ -58,10 +59,14 @@ func (r *Record) DropRecord() {
 	r.dropped.Store(true)
 	r.image.Store(nil)
 	r.tbl.remove(r)
+	r.tbl.notifyWrite(r.key.RID)
 }
 
 // SetVersioned implements mvcc.RecordRef.
-func (r *Record) SetVersioned(v bool) { r.versioned.Store(v) }
+func (r *Record) SetVersioned(v bool) {
+	r.versioned.Store(v)
+	r.tbl.notifyWrite(r.key.RID)
+}
 
 // Table is one table's slice of the table space. RIDs are allocated densely
 // from 1 so scans can walk the RID range in order.
@@ -78,6 +83,31 @@ type Table struct {
 	// residue class — enough structure for partition pruning and
 	// partition-scoped garbage collection.
 	partitions atomic.Uint32
+
+	// writeObs, when installed, observes every mutation of the table space —
+	// version-chain flag flips, image installs by garbage collection, record
+	// drops — with the affected RID. The HTAP column lane uses it to keep a
+	// sticky dirty set over chunk-covered rows; it fires under the chain
+	// latch, so observers must be cheap and must not re-enter the engine.
+	writeObs atomic.Pointer[func(ts.RID)]
+}
+
+// SetWriteObserver installs fn as the table's write observer (nil removes
+// it). At most one observer is supported; installing replaces any previous
+// one.
+func (t *Table) SetWriteObserver(fn func(ts.RID)) {
+	if fn == nil {
+		t.writeObs.Store(nil)
+		return
+	}
+	t.writeObs.Store(&fn)
+}
+
+// notifyWrite fires the write observer, if any, for rid.
+func (t *Table) notifyWrite(rid ts.RID) {
+	if p := t.writeObs.Load(); p != nil {
+		(*p)(rid)
+	}
 }
 
 // SetPartitions declares the table partitioned into n parts (n >= 2).

@@ -42,6 +42,13 @@ const (
 	// set under, so replay can order it against surrounding group records;
 	// on abort CID is ts.Invalid and the prepared write set is dropped.
 	KindResolve
+	// KindHTAPLane records that the HTAP column lane is enabled for a table:
+	// TableID names the table, TableName carries the lane's schema spec (the
+	// column layout the migrator decodes row images with), and CID is the
+	// chunk watermark at log time. Chunks themselves are not logged — recovery
+	// re-enables the lane and the migrator rebuilds chunks from the recovered
+	// table state, so the watermark record is the only durability addition.
+	KindHTAPLane
 )
 
 // Op is one logged data operation.
@@ -114,6 +121,11 @@ func (r *Record) AppendPayload(b []byte) []byte {
 	case KindResolve:
 		b = appendU64(b, r.XID)
 		b = appendBool(b, r.Commit)
+		b = appendU64(b, uint64(r.CID))
+	case KindHTAPLane:
+		b = appendU32(b, uint32(r.TableID))
+		b = appendU32(b, uint32(len(r.TableName)))
+		b = append(b, r.TableName...)
 		b = appendU64(b, uint64(r.CID))
 	}
 	return b
@@ -289,6 +301,26 @@ func DecodePayload(b []byte) (*Record, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.CID = ts.CID(cid)
+	case KindHTAPLane:
+		id, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		spec, err := c.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		cid, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		r.TableID = ts.TableID(id)
+		r.TableName = string(spec)
 		r.CID = ts.CID(cid)
 	default:
 		return nil, fmt.Errorf("wal: unknown record kind %d", kind)

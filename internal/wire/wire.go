@@ -70,6 +70,14 @@ const (
 	// OpSetPlacement installs a table's shard-placement policy (U32 tid,
 	// U8 kind, U64 size, U32 shard) before the table receives rows.
 	OpSetPlacement
+	// OpHTAPEnable arms the background row→column migrator for a SQL table
+	// (Str table name) on every shard.
+	OpHTAPEnable
+	// OpAggregate runs a column-lane aggregate remotely (Str table, U8 op:
+	// 0=COUNT 1=SUM 2=MIN 3=MAX, Str column, Str groupBy — both may be
+	// empty). The response carries a SELECT-shaped result: PutStrings
+	// column names, then PutRows. Idempotent, so clients may retry it.
+	OpAggregate
 )
 
 // Response statuses.
@@ -614,6 +622,27 @@ type Stats struct {
 	// story). Appended at the end of the frame so older peers simply never
 	// read it.
 	Shards []ShardStat
+
+	// HTAP is the per-table column-lane breakdown (empty when no lanes are
+	// enabled). Appended after Shards; decoders guard on remaining bytes so
+	// frames from older peers parse cleanly.
+	HTAP []HTAPStat
+}
+
+// HTAPStat is one table's column-lane state, summed across shards: how much
+// of the table is columnar, what still rides the row-store delta, and how
+// far the migrator trails the commit timestamp.
+type HTAPStat struct {
+	Name         string
+	Table        uint32
+	Chunks       int64
+	ChunkRows    int64
+	DeltaRows    int64
+	DirtyRows    int64
+	MigratedRows int64
+	Watermark    uint64
+	Lag          uint64
+	Passes       int64
 }
 
 // ShardStat is one shard's engine indicators — the subset gcmon renders
@@ -676,6 +705,12 @@ func (s *Stats) Encode(w *Builder) {
 		w.U64(uint64(sh.CurrentCID)).U64(uint64(sh.GlobalHorizon))
 		w.Bool(sh.FailStop)
 	}
+	w.U16(uint16(len(s.HTAP)))
+	for _, h := range s.HTAP {
+		w.Str(h.Name).U32(h.Table)
+		w.I64(h.Chunks).I64(h.ChunkRows).I64(h.DeltaRows).I64(h.DirtyRows)
+		w.I64(h.MigratedRows).U64(h.Watermark).U64(h.Lag).I64(h.Passes)
+	}
 }
 
 // DecodeStats reads a stats payload.
@@ -714,6 +749,17 @@ func DecodeStats(r *Parser) Stats {
 		sh.CurrentCID, sh.GlobalHorizon = ts.CID(r.U64()), ts.CID(r.U64())
 		sh.FailStop = r.Bool()
 		s.Shards = append(s.Shards, sh)
+	}
+	// The HTAP trailer is absent in frames from pre-lane peers.
+	if r.Err() == nil && r.Rest() > 0 {
+		n = int(r.U16())
+		for i := 0; i < n && r.Err() == nil; i++ {
+			var h HTAPStat
+			h.Name, h.Table = r.Str(), r.U32()
+			h.Chunks, h.ChunkRows, h.DeltaRows, h.DirtyRows = r.I64(), r.I64(), r.I64(), r.I64()
+			h.MigratedRows, h.Watermark, h.Lag, h.Passes = r.I64(), r.U64(), r.U64(), r.I64()
+			s.HTAP = append(s.HTAP, h)
+		}
 	}
 	return s
 }
