@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json bench-smoke chaos-smoke shard-smoke htap-smoke clean
+.PHONY: all build vet test race check bench bench-json bench-smoke chaos-smoke shard-smoke htap-smoke replica-smoke clean
 
 all: check
 
@@ -55,6 +55,14 @@ shard-smoke:
 # shipped rows into chunks during the run.
 htap-smoke:
 	bash ./scripts/htap-smoke.sh
+
+# CI smoke: read scale-out over loopback — persistent primary, two streaming
+# replicas, TPC-C with `-read-replicas`: pooled analysts split Session and
+# bounded reads across the replicas while OLTP writes to the primary. The
+# script asserts replicas actually served reads and that read-your-writes
+# held on every acked row.
+replica-smoke:
+	bash ./scripts/replica-read-smoke.sh
 
 clean:
 	$(GO) clean ./...

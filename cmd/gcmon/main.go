@@ -259,9 +259,21 @@ func fmtRepl(st wire.Stats) []string {
 		}
 		return lines
 	case "replica":
-		return []string{fmt.Sprintf("  repl: replica of %s applied=%s head=%s applied-records=%d reconnects=%d",
+		lines := []string{fmt.Sprintf("  repl: replica of %s applied=%s head=%s applied-records=%d reconnects=%d",
 			st.ReplUpstream, wal.LSN(st.ReplAppliedLSN), wal.LSN(st.ReplPrimaryLSN),
 			st.ReplRecordsApplied, st.ReplReconnects)}
+		// Read routing: how often gated reads had to wait for the applier,
+		// and how often they bounced back to the pool (replica behind the
+		// session token past the wait budget).
+		if st.ReadGateWaits > 0 || st.ReadGateBounces > 0 {
+			lag := int64(st.ReplPrimaryLSN) - int64(st.ReplAppliedLSN)
+			if lag < 0 {
+				lag = 0
+			}
+			lines = append(lines, fmt.Sprintf("  repl:   read-gate waits=%d bounces=%d lag=%d",
+				st.ReadGateWaits, st.ReadGateBounces, lag))
+		}
+		return lines
 	default:
 		return nil
 	}

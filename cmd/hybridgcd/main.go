@@ -52,6 +52,7 @@ import (
 	"hybridgc/internal/repl"
 	"hybridgc/internal/server"
 	"hybridgc/internal/shard"
+	"hybridgc/internal/wal"
 	"hybridgc/internal/workload"
 )
 
@@ -70,6 +71,7 @@ type options struct {
 	replicaOf   string
 	replicaID   string
 	upstreamTok string
+	tokenWait   time.Duration
 
 	replStale time.Duration
 	replWrite time.Duration
@@ -96,6 +98,7 @@ func main() {
 		replicaOf   = flag.String("replica-of", "", "primary address; run as a read-only replica of it")
 		replicaID   = flag.String("replica-id", "replica", "stable replica identity reported to the primary")
 		upstreamTok = flag.String("upstream-token", "", "auth token for the primary (replica mode)")
+		tokenWait   = flag.Duration("token-wait", 150*time.Millisecond, "replica mode: how long a read carrying a consistency token waits for the applier before bouncing with replica-behind")
 
 		replStale = flag.Duration("repl-stale-after", 0, "demote a silent replica after this long; replica: tolerated primary silence (0 selects defaults)")
 		replWrite = flag.Duration("repl-write-timeout", 0, "per-write deadline on replication streams (0 selects the default)")
@@ -130,6 +133,7 @@ func main() {
 		gcMode: m, soft: *soft, hard: *hard, shards: *shards,
 		data: *data, sync: *syncWAL, ckptEvery: *ckptEvery,
 		replicaOf: *replicaOf, replicaID: *replicaID, upstreamTok: *upstreamTok,
+		tokenWait: *tokenWait,
 		replStale: *replStale, replWrite: *replWrite,
 		htapOn: *htapOn, htapEvery: *htapEvery,
 	}
@@ -310,6 +314,7 @@ func runReplica(opts options, sig <-chan os.Signal) {
 		srv, err := server.New(db, server.Config{
 			Token: opts.token, MaxConns: opts.maxConns, IdleTimeout: opts.idle,
 			StatsHook: rep.PopulateStats,
+			ReadGate:  readGate(rep, opts.tokenWait),
 		})
 		if err != nil {
 			fatal(err)
@@ -357,6 +362,23 @@ func runReplica(opts options, sig <-chan os.Signal) {
 			}
 			return
 		}
+	}
+}
+
+// readGate adapts the replica's applier to the server's consistency-token
+// gate: a read whose token is already applied passes immediately; otherwise
+// it waits up to wait for the applier and bounces with the transient
+// core.ErrReplicaBehind so the client retries on another endpoint.
+func readGate(rep *repl.Replica, wait time.Duration) func(uint64) (bool, error) {
+	return func(minLSN uint64) (bool, error) {
+		target := wal.LSN(minLSN)
+		if rep.AppliedLSN() >= target {
+			return false, nil
+		}
+		if err := rep.WaitLSN(target, wait); err != nil {
+			return true, fmt.Errorf("%w: %v", core.ErrReplicaBehind, err)
+		}
+		return true, nil
 	}
 }
 

@@ -47,6 +47,8 @@ func main() {
 		shards     = flag.Int("shards", 1, "run the in-process engine sharded N ways (local mode only)")
 		cross      = flag.Bool("cross", false, "enable TPC-C remote clauses (15% remote Payment, 1% remote supply per NewOrder line); auto-enabled when sharded")
 		olap       = flag.Int("olap", 0, "OLAP analysts running column-lane aggregates beside the OLTP load (remote mode; server needs -htap)")
+		readRepl   = flag.String("read-replicas", "", "comma-separated replica addresses; analyst reads route through the read/write-splitting pool (remote mode)")
+		readers    = flag.Int("readers", 2, "analyst goroutines reading through the pool (with -read-replicas)")
 		addr       = flag.String("addr", "", "hybridgcd address; empty runs the engine in-process")
 		token      = flag.String("token", "", "auth token for -addr")
 		checkAddr  = flag.String("check-addr", "", "read-only endpoint (e.g. a replica) to run the consistency check against")
@@ -77,6 +79,10 @@ func main() {
 	}
 	if *olap > 0 && !remote {
 		fmt.Fprintln(os.Stderr, "-olap is remote-only; the in-process mixed workload is `benchjson -figure ext2`")
+		os.Exit(2)
+	}
+	if *readRepl != "" && !remote {
+		fmt.Fprintln(os.Stderr, "-read-replicas is remote-only; point -addr at the primary")
 		os.Exit(2)
 	}
 	if err := profiling.Start(prof); err != nil {
@@ -178,6 +184,13 @@ func main() {
 		}
 		fmt.Printf("olap: %d analysts aggregating over the column lane\n", *olap)
 	}
+	var rl *readLoad
+	if *readRepl != "" {
+		if rl, err = startReadPool(*addr, *token, *readRepl, *readers, stop, &wg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("readpool: %d analysts reading through the replica pool\n", *readers)
+	}
 	workers := make([]*tpcc.Worker, *warehouses)
 	start := time.Now()
 	for w := 1; w <= *warehouses; w++ {
@@ -208,6 +221,10 @@ func main() {
 		float64(stmts)/elapsed.Seconds(), stmts, elapsed.Round(time.Millisecond))
 	if ol != nil {
 		ol.report(cl, elapsed)
+	}
+	if rl != nil {
+		rl.report(elapsed)
+		rl.close()
 	}
 	for t := tpcc.TxnNewOrder; t <= tpcc.TxnStockLevel; t++ {
 		var committed, aborted, crossed int64

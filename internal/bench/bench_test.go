@@ -12,8 +12,8 @@ func quickSuite() *Suite {
 
 func TestFiguresList(t *testing.T) {
 	ids := Figures()
-	if len(ids) != 12 {
-		t.Fatalf("expected 10 figures + 2 extensions, got %v", ids)
+	if len(ids) != 13 {
+		t.Fatalf("expected 10 figures + 3 extensions, got %v", ids)
 	}
 	s := quickSuite()
 	if _, err := s.Run("fig99"); err == nil {
@@ -134,6 +134,39 @@ func TestExt2HTAPLane(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "olap-qps(lane)") {
 		t.Fatalf("ext2 report incomplete:\n%s", buf.String())
+	}
+}
+
+func TestExt3ReadScale(t *testing.T) {
+	s := quickSuite()
+	rep, err := s.Run("ext3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 4 {
+		t.Fatalf("ext3 series = %d", len(rep.Series))
+	}
+	for _, ls := range rep.Series {
+		if ls.Series.Mean() <= 0 {
+			t.Fatalf("leg %s measured no reads", ls.Label)
+		}
+	}
+	// Every replica leg must actually have routed reads to replicas — the
+	// figure is meaningless if the pool quietly served everything from the
+	// primary.
+	for _, note := range rep.Notes {
+		for _, n := range []string{"1 replicas:", "2 replicas:", "3 replicas:"} {
+			if strings.HasPrefix(note, n) && strings.Contains(note, "replica=0 ") {
+				t.Fatalf("replica leg served no replica reads: %s", note)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "reads/s(3r)") {
+		t.Fatalf("ext3 report incomplete:\n%s", buf.String())
 	}
 }
 

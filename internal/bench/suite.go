@@ -171,7 +171,7 @@ func (s *Suite) trans() (map[workload.Mode]*workload.Result, error) {
 // reproduction's extension experiments (ext*).
 func Figures() []string {
 	return []string{"fig10", "fig11", "fig12", "fig13", "fig14",
-		"fig15", "fig16", "fig17", "fig18", "fig19", "ext1", "ext2"}
+		"fig15", "fig16", "fig17", "fig18", "fig19", "ext1", "ext2", "ext3"}
 }
 
 // Run generates the named figure.
@@ -201,6 +201,8 @@ func (s *Suite) Run(id string) (*Report, error) {
 		return s.Ext1()
 	case "ext2":
 		return s.Ext2()
+	case "ext3":
+		return s.Ext3()
 	default:
 		return nil, fmt.Errorf("bench: unknown figure %q (have %v)", id, Figures())
 	}

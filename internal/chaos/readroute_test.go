@@ -1,0 +1,63 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReadRouteNemesis partitions each replica's serving path in turn while
+// a bank workload reads through the ReadPool, and requires the routing
+// invariants to hold: no lost or torn write observed from any endpoint, and
+// reads keep succeeding for the whole run (the primary stays healthy, so
+// failover must absorb every partition).
+func TestReadRouteNemesis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	rep, err := RunReadRoute(ReadRouteOptions{Seed: 11})
+	if err != nil {
+		t.Fatalf("read-route run failed to start: %v", err)
+	}
+	t.Log(rep.Summary())
+	if !rep.Passed() {
+		t.Fatalf("invariant violations:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Pool.Failovers == 0 {
+		t.Fatal("partitions never quarantined an endpoint — the weather never bit")
+	}
+}
+
+// TestReadRouteEveryReplicaHit: with Rounds >= Replicas the round-robin
+// schedule names every replica at least once, so the invariants above were
+// exercised against each endpoint's failure, not just one.
+func TestReadRouteEveryReplicaHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	rep, err := RunReadRoute(ReadRouteOptions{
+		Seed:     13,
+		Replicas: 2,
+		Rounds:   2,
+		Hold:     300 * time.Millisecond,
+		Calm:     150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("read-route run failed to start: %v", err)
+	}
+	t.Log(rep.Summary())
+	if !rep.Passed() {
+		t.Fatalf("invariant violations:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	for _, want := range []string{"replica 0 serve-partition", "replica 1 serve-partition"} {
+		found := false
+		for _, s := range rep.Schedule {
+			if strings.HasPrefix(s, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("schedule never hit %q:\n%s", want, strings.Join(rep.Schedule, "\n"))
+		}
+	}
+}

@@ -52,6 +52,12 @@ type Config struct {
 	// on a dead address.
 	RedialBase time.Duration
 	RedialMax  time.Duration
+	// HelloMinLSN, when >0, is a consistency token carried in every HELLO:
+	// a replica that has not applied up to this LSN refuses the handshake
+	// (waits, then bounces with core.ErrReplicaBehind), so a session is
+	// never established against a server that cannot satisfy its token.
+	// Zero sends a token-less HELLO that pre-token servers accept.
+	HelloMinLSN uint64
 }
 
 func (c *Config) fill() {
@@ -135,6 +141,9 @@ func (c *Client) dial() (*Conn, error) {
 	}
 	cn := &Conn{nc: nc, br: bufio.NewReader(nc), timeout: c.cfg.DialTimeout}
 	body := (&wire.Builder{}).Raw([]byte(wire.Magic)).U8(wire.Version).Str(c.cfg.Token)
+	if c.cfg.HelloMinLSN > 0 {
+		body.U64(c.cfg.HelloMinLSN)
+	}
 	r, err := cn.roundTrip(wire.OpHello, body.Take())
 	if err != nil {
 		nc.Close()
@@ -357,12 +366,21 @@ type Result struct {
 	Affected int
 	Columns  []string
 	Rows     [][]wire.Datum
+	// Token is the server's session consistency token after the statement
+	// (the WAL stream head, ≥ the commit LSN of an autocommitted write).
+	// Zero from pre-token servers and token-less engines (memory-only,
+	// sharded); sessions track their running maximum for read-your-writes.
+	Token uint64
 }
 
 func decodeResult(r *wire.Parser) (*Result, error) {
 	res := &Result{Message: r.Str(), Affected: int(r.U32())}
 	res.Columns = wire.GetStrings(r)
 	res.Rows = wire.GetRows(r)
+	// Trailing consistency token; absent from pre-token servers.
+	if r.Err() == nil && r.Rest() >= 8 {
+		res.Token = r.U64()
+	}
 	return res, r.Err()
 }
 
@@ -370,7 +388,20 @@ func decodeResult(r *wire.Parser) (*Result, error) {
 // that change session state (BEGIN/COMMIT/ROLLBACK) must go through Begin —
 // on a pooled connection the session they would affect is arbitrary.
 func (c *Client) Exec(sqlText string) (*Result, error) {
-	r, err := c.doB(wire.OpExec, wire.GetBuilder().Str(sqlText))
+	return c.ExecAt(sqlText, 0)
+}
+
+// ExecAt is Exec carrying a min-LSN consistency token: a token-gating server
+// (a replica) holds the statement until its applier reaches minLSN or
+// bounces with the transient core.ErrReplicaBehind so the caller retries on
+// another endpoint. A zero token sends a plain EXEC that pre-token servers
+// accept unchanged.
+func (c *Client) ExecAt(sqlText string, minLSN uint64) (*Result, error) {
+	w := wire.GetBuilder().Str(sqlText)
+	if minLSN > 0 {
+		w.U64(minLSN)
+	}
+	r, err := c.doB(wire.OpExec, w)
 	if err != nil {
 		return nil, err
 	}
@@ -489,11 +520,21 @@ func (c *Client) Aggregate(table string, op byte, col, groupBy string) (*Result,
 // server-side cursor holds a snapshot scoped to the query's table — the
 // canonical remote long-lived garbage collection blocker.
 func (c *Client) Query(sqlText string) (*Cursor, error) {
+	return c.QueryAt(sqlText, 0)
+}
+
+// QueryAt is Query carrying a min-LSN consistency token (see ExecAt): the
+// cursor's snapshot is taken only once the server has applied up to minLSN.
+func (c *Client) QueryAt(sqlText string, minLSN uint64) (*Cursor, error) {
 	cn, err := c.get()
 	if err != nil {
 		return nil, err
 	}
-	r, err := cn.roundTripB(wire.OpQOpen, wire.GetBuilder().Str(sqlText))
+	w := wire.GetBuilder().Str(sqlText)
+	if minLSN > 0 {
+		w.U64(minLSN)
+	}
+	r, err := cn.roundTripB(wire.OpQOpen, w)
 	if err != nil {
 		c.put(cn)
 		// A broken open pinned nothing: safe to retry as a fresh cursor.
@@ -523,9 +564,10 @@ func (c *Client) Query(sqlText string) (*Cursor, error) {
 // commit may have become durable before the connection died, and a blind
 // re-run could apply the transaction twice.
 type Tx struct {
-	c    *Client
-	cn   *Conn
-	done bool
+	c         *Client
+	cn        *Conn
+	done      bool
+	commitLSN uint64
 }
 
 func (tx *Tx) round(op byte, body []byte) (*wire.Parser, error) {
@@ -633,14 +675,24 @@ func (tx *Tx) Commit() error {
 	if tx.done {
 		return fmt.Errorf("client: transaction finished")
 	}
-	_, err := tx.cn.roundTrip(wire.OpCommit, nil)
+	r, err := tx.cn.roundTrip(wire.OpCommit, nil)
 	tx.done = true
 	tx.c.put(tx.cn)
 	if isTransportErr(err) {
 		return fmt.Errorf("%w: %v", core.ErrCommitAmbiguous, err)
 	}
+	// Trailing consistency token; absent from pre-token servers.
+	if err == nil && r.Rest() >= 8 {
+		tx.commitLSN = r.U64()
+	}
 	return err
 }
+
+// CommitLSN returns the session consistency token from a successful Commit:
+// the WAL stream head covering the commit group the transaction rode in. A
+// read gated on this LSN observes the transaction's writes. Zero before
+// Commit, after a failed Commit, and from token-less servers.
+func (tx *Tx) CommitLSN() uint64 { return tx.commitLSN }
 
 // Abort rolls the transaction back and returns the connection to the pool.
 // Safe to call after Commit (no-op), so `defer tx.Abort()` works.

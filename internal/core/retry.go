@@ -27,21 +27,30 @@ var (
 	// re-running the transaction could apply it twice. Callers must
 	// reconcile (re-read, or use an idempotency key) before retrying.
 	ErrCommitAmbiguous = errors.New("core: commit outcome unknown")
+	// ErrReplicaBehind reports a replica that has not yet applied up to the
+	// session's consistency token (and declined to wait any longer). The
+	// data the session needs exists — on the primary and on any caught-up
+	// replica — so the right response is to retry the read elsewhere, not to
+	// fail the request. Transient.
+	ErrReplicaBehind = errors.New("core: replica behind session token")
 )
 
 // IsTransient reports whether err is a retriable failure: a write-write
 // conflict under first-committer-wins, a write rejected under version-space
 // pressure (ErrVersionPressure), a remote transaction torn down by a
 // connection failure before commit (ErrTxnBroken), or a temporarily
-// unreachable service (ErrUnavailable). All clear on their own — the
+// unreachable service (ErrUnavailable), or a replica lagging the session's
+// consistency token (ErrReplicaBehind). All clear on their own — the
 // conflicting transaction finishes, the ladder frees version space, the
-// client redials — so retrying with backoff is the right response.
+// client redials, the replica catches up or another endpoint serves the
+// read — so retrying with backoff is the right response.
 // Durability failures (ErrFailStop), ambiguous commits (ErrCommitAmbiguous)
 // and everything else are not transient: retrying them cannot safely
 // succeed.
 func IsTransient(err error) bool {
 	return errors.Is(err, ErrWriteConflict) || errors.Is(err, ErrVersionPressure) ||
-		errors.Is(err, ErrTxnBroken) || errors.Is(err, ErrUnavailable)
+		errors.Is(err, ErrTxnBroken) || errors.Is(err, ErrUnavailable) ||
+		errors.Is(err, ErrReplicaBehind)
 }
 
 // maxRetryWait caps Retry's exponential backoff ceiling.

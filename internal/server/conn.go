@@ -32,6 +32,13 @@ type conn struct {
 	authed     bool
 	draining   atomic.Bool
 
+	// minLSN is the session's consistency token: the highest min-LSN any
+	// request on this connection has carried. On a gated server (a replica)
+	// every token-bearing request waits until the applier reaches it or
+	// bounces with ErrReplicaBehind. Single-goroutine state, like the
+	// session itself.
+	minLSN uint64
+
 	// rbuf is the connection's reusable request-frame buffer: the serve loop
 	// is strictly read → dispatch → write, so the previous request body is
 	// dead by the next read. resp is the reusable response builder — valid
@@ -225,7 +232,10 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 		if err := c.sess.Commit(); err != nil {
 			return fail(err)
 		}
-		return ok(nil)
+		// Trailing consistency token: the stream head right after the
+		// commit, so it covers the whole commit group the transaction rode
+		// in. Pre-token clients expect an empty body and never read it.
+		return ok(c.b().U64(c.srv.tokenLSN()))
 	case wire.OpRollback:
 		if err := c.sess.Rollback(); err != nil {
 			return fail(err)
@@ -375,6 +385,37 @@ func (c *conn) dispatch(op byte, body []byte) (byte, []byte) {
 	}
 }
 
+// reqToken consumes a trailing min-LSN consistency token if the request
+// carries one. It must run after the documented body fields and before
+// firstErr — older clients send no token and parse identically.
+func reqToken(r *wire.Parser) uint64 {
+	if r.Rest() > 0 {
+		return r.U64()
+	}
+	return 0
+}
+
+// gate raises the session token to min and, on a gated server (a replica),
+// holds the request until the applier reaches the token or bounces it with
+// ErrReplicaBehind so the client retries on another endpoint.
+func (c *conn) gate(min uint64) error {
+	if min > c.minLSN {
+		c.minLSN = min
+	}
+	g := c.srv.cfg.ReadGate
+	if g == nil || c.minLSN == 0 {
+		return nil
+	}
+	waited, err := g(c.minLSN)
+	if waited {
+		c.srv.gateWaits.Inc()
+	}
+	if err != nil {
+		c.srv.gateBounces.Inc()
+	}
+	return err
+}
+
 // firstErr surfaces a parse failure, also rejecting trailing request bytes.
 func firstErr(r *wire.Parser) error {
 	if err := r.Err(); err != nil {
@@ -400,6 +441,7 @@ func (c *conn) hello(r *wire.Parser) (byte, []byte) {
 	magic := string(r.Raw(4))
 	ver := r.U8()
 	token := r.Str()
+	minLSN := reqToken(r)
 	if err := firstErr(r); err != nil || magic != wire.Magic {
 		return fail(fmt.Errorf("%w: bad handshake", wire.ErrBadRequest))
 	}
@@ -408,6 +450,9 @@ func (c *conn) hello(r *wire.Parser) (byte, []byte) {
 	}
 	if c.srv.cfg.Token != "" && token != c.srv.cfg.Token {
 		return fail(wire.ErrAuth)
+	}
+	if err := c.gate(minLSN); err != nil {
+		return fail(err)
 	}
 	c.authed = true
 	// The shard count trails the version byte; pre-sharding clients parsed
@@ -418,7 +463,11 @@ func (c *conn) hello(r *wire.Parser) (byte, []byte) {
 
 func (c *conn) exec(r *wire.Parser) (byte, []byte) {
 	text := r.Str()
+	minLSN := reqToken(r)
 	if err := firstErr(r); err != nil {
+		return fail(err)
+	}
+	if err := c.gate(minLSN); err != nil {
 		return fail(err)
 	}
 	res, err := c.sess.Execute(text)
@@ -429,6 +478,10 @@ func (c *conn) exec(r *wire.Parser) (byte, []byte) {
 	w.Str(res.Message).U32(uint32(res.Affected))
 	wire.PutStrings(w, res.Columns)
 	wire.PutRows(w, toWireRows(res.Rows))
+	// Trailing consistency token: the stream head after this statement, ≥
+	// the commit LSN of an autocommitted write. Older clients stop reading
+	// before it.
+	w.U64(c.srv.tokenLSN())
 	return ok(w)
 }
 
@@ -465,7 +518,11 @@ func (c *conn) aggregate(r *wire.Parser) (byte, []byte) {
 
 func (c *conn) qopen(r *wire.Parser) (byte, []byte) {
 	text := r.Str()
+	minLSN := reqToken(r)
 	if err := firstErr(r); err != nil {
+		return fail(err)
+	}
+	if err := c.gate(minLSN); err != nil {
 		return fail(err)
 	}
 	qc, err := c.sess.OpenQueryCursor(text)

@@ -27,6 +27,7 @@ import (
 	"hybridgc/internal/engine"
 	"hybridgc/internal/metrics"
 	"hybridgc/internal/sql"
+	"hybridgc/internal/wal"
 	"hybridgc/internal/wire"
 )
 
@@ -67,6 +68,13 @@ type Config struct {
 	// StatsHook, when set, runs over every assembled STATS payload —
 	// replication components use it to splice in their counters.
 	StatsHook func(*wire.Stats)
+	// ReadGate, when set, admits reads against the session consistency
+	// token: a replica wires it to its applier so a HELLO/EXEC/QOPEN
+	// carrying a min-LSN token either waits until the applier reaches that
+	// LSN (waited=true, nil error) or bounces with core.ErrReplicaBehind
+	// once the wait deadline passes. Nil on primaries, where every token is
+	// trivially satisfied.
+	ReadGate func(minLSN uint64) (waited bool, err error)
 
 	// testHookRequest, when set by tests, runs after a request frame is
 	// decoded and before it is executed — the seam drain tests use to hold a
@@ -92,6 +100,12 @@ type Server struct {
 	eng engine.Engine
 	cat *sql.Catalog
 
+	// tokenLog, when non-nil, is the WAL whose NextLSN serves as the
+	// session consistency token in COMMIT/EXEC responses. Resolved once at
+	// construction: single-shard persistent engines only (replication — and
+	// therefore token-gated replica reads — is single-node).
+	tokenLog *wal.Log
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[*conn]struct{}
@@ -108,6 +122,8 @@ type Server struct {
 	connsActive   atomic.Int64
 	cursorsOpen   atomic.Int64
 	cursorsReaped metrics.Counter
+	gateWaits     metrics.Counter
+	gateBounces   metrics.Counter
 }
 
 // New builds a server over a single-node database — the compatibility form
@@ -125,13 +141,28 @@ func NewEngine(eng engine.Engine, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: catalog: %w", err)
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		eng:   eng,
 		cat:   cat,
 		conns: make(map[*conn]struct{}),
 		lat:   metrics.NewHistogram(cfg.LatencyReservoir),
-	}, nil
+	}
+	if eng.Shards() == 1 {
+		s.tokenLog = eng.Shard(0).WAL()
+	}
+	return s, nil
+}
+
+// tokenLSN returns the session consistency token to stamp on a response:
+// the WAL stream head right now, which is ≥ the LSN of anything the session
+// has committed. Zero when the engine has no single token stream (memory-only
+// or sharded), which clients treat as "no token".
+func (s *Server) tokenLSN() uint64 {
+	if s.tokenLog == nil {
+		return 0
+	}
+	return uint64(s.tokenLog.NextLSN())
 }
 
 // Catalog exposes the server's SQL catalog (in-process callers and tests).
@@ -290,8 +321,10 @@ func (s *Server) Stats() wire.Stats {
 		RequestErrors: s.requestErrors.Value(),
 		BytesIn:       s.bytesIn.Value(),
 		BytesOut:      s.bytesOut.Value(),
-		CursorsOpen:   s.cursorsOpen.Load(),
-		CursorsReaped: s.cursorsReaped.Value(),
+		CursorsOpen:     s.cursorsOpen.Load(),
+		CursorsReaped:   s.cursorsReaped.Value(),
+		ReadGateWaits:   s.gateWaits.Value(),
+		ReadGateBounces: s.gateBounces.Value(),
 		LatMean:       s.lat.Mean(),
 		LatP50:        s.lat.Percentile(50),
 		LatP95:        s.lat.Percentile(95),

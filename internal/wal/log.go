@@ -214,7 +214,20 @@ func (l *Log) openSegmentLocked() error {
 
 // NextLSN returns the LSN the next Append will assign. On a replica this is
 // the "applied LSN" once every received record has been replayed; on the
-// primary it is the stream head replicas chase.
+// primary it is the stream head replicas chase — and, since PR 9, the
+// session consistency token stamped on COMMIT/EXEC responses.
+//
+// Memory-ordering contract: NextLSN acquires the same mutex Append and
+// AppendBatch assign LSNs and write under, so it is safe from any goroutine
+// and its result is a *publication barrier* — when NextLSN returns head,
+// every record with LSN < head has fully completed its Append: its bytes
+// were written (and, with Sync, fsynced) and its subscribers notified before
+// the lock was released. A batch assigns all of its LSNs under one lock
+// acquisition, so a token observed after a group commit can never split the
+// group: either the whole group is below the token or none of it is. This
+// happens-before edge is what lets a replica compare its applied LSN against
+// a token from another machine — applied ≥ token implies every write the
+// token covers has been replayed.
 func (l *Log) NextLSN() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()

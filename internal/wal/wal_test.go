@@ -367,3 +367,74 @@ func TestReadSegmentConcurrentWithAppend(t *testing.T) {
 		t.Fatal("reader never completed a pass")
 	}
 }
+
+// TestNextLSNConcurrentContract exercises NextLSN's memory-ordering contract
+// under the race detector: polled concurrently with single Appends and
+// AppendBatch groups, the observed head must be monotonically non-decreasing
+// and must never land strictly inside a batch's LSN range — a group's LSNs
+// are assigned under one lock acquisition, so a consistency token taken from
+// NextLSN can never split a commit group.
+func TestNextLSNConcurrentContract(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	var batches [][2]LSN // [first, last] of every appended batch
+	appErr := make(chan error, 1)
+	go func() {
+		defer close(appErr)
+		for i := 0; i < 400; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := func(cid int) *Record {
+				return &Record{Kind: KindGroup, CID: ts.CID(cid), Ops: []Op{
+					{Op: mvcc.OpUpdate, Table: 1, RID: ts.RID(cid), Payload: []byte("x")},
+				}}
+			}
+			if i%4 == 0 {
+				lsns, err := l.AppendBatch([]*Record{rec(3*i + 1), rec(3*i + 2), rec(3*i + 3)})
+				if err != nil {
+					appErr <- err
+					return
+				}
+				mu.Lock()
+				batches = append(batches, [2]LSN{lsns[0], lsns[len(lsns)-1]})
+				mu.Unlock()
+			} else if err := l.Append(rec(3*i + 1)); err != nil {
+				appErr <- err
+				return
+			}
+		}
+	}()
+
+	var prev LSN
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		head := l.NextLSN()
+		if head < prev {
+			t.Fatalf("NextLSN regressed: %s after %s", head, prev)
+		}
+		prev = head
+		mu.Lock()
+		for _, b := range batches {
+			if head > b[0] && head <= b[1] {
+				t.Errorf("NextLSN %s splits batch [%s, %s]", head, b[0], b[1])
+			}
+		}
+		mu.Unlock()
+		if t.Failed() {
+			break
+		}
+	}
+	close(stop)
+	if err := <-appErr; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"testing"
+)
+
+// TestStatsReadGateTrailerRoundTrip pins the read-gate counters' place in
+// the STATS frame: they trail the HTAP block, round-trip intact, and a frame
+// truncated before them (an older peer's encoding) still decodes cleanly
+// with the counters zero.
+func TestStatsReadGateTrailerRoundTrip(t *testing.T) {
+	in := Stats{
+		Statements:      11,
+		ReplRole:        "replica",
+		ReplAppliedLSN:  42,
+		ReplPrimaryLSN:  99,
+		ReadGateWaits:   7,
+		ReadGateBounces: 3,
+	}
+	var w Builder
+	in.Encode(&w)
+	out := DecodeStats(NewParser(w.Take()))
+	if out.ReadGateWaits != 7 || out.ReadGateBounces != 3 {
+		t.Fatalf("round trip: waits=%d bounces=%d", out.ReadGateWaits, out.ReadGateBounces)
+	}
+	if out.ReplAppliedLSN != 42 || out.ReplPrimaryLSN != 99 {
+		t.Fatalf("earlier fields disturbed: %+v", out)
+	}
+
+	// Truncate the 16-byte gate trailer off: an old peer's frame.
+	var w2 Builder
+	in.Encode(&w2)
+	body := w2.Take()
+	old := DecodeStats(NewParser(body[: len(body)-16 : len(body)-16]))
+	if old.ReadGateWaits != 0 || old.ReadGateBounces != 0 {
+		t.Fatalf("old-peer decode invented counters: %+v", old)
+	}
+	if old.Statements != 11 || old.ReplAppliedLSN != 42 {
+		t.Fatalf("old-peer decode lost earlier fields: %+v", old)
+	}
+}
+
+// TestExecTokenSuffixRoundTrip pins the request-side token framing: the
+// trailing min-LSN is optional, present-when-nonzero, and reading it the way
+// the server does (only when bytes remain) recovers exactly what the client
+// sent — including the token-less legacy form.
+func TestExecTokenSuffixRoundTrip(t *testing.T) {
+	decode := func(body []byte) (string, uint64) {
+		r := NewParser(body)
+		sqlText := r.Str()
+		var tok uint64
+		if r.Rest() > 0 {
+			tok = r.U64()
+		}
+		if r.Err() != nil || r.Rest() != 0 {
+			t.Fatalf("decode failed: err=%v rest=%d", r.Err(), r.Rest())
+		}
+		return sqlText, tok
+	}
+
+	var w Builder
+	w.Str("SELECT 1").U64(777)
+	if s, tok := decode(w.Take()); s != "SELECT 1" || tok != 777 {
+		t.Fatalf("tokened decode: %q %d", s, tok)
+	}
+	var w2 Builder
+	w2.Str("SELECT 1")
+	if s, tok := decode(w2.Take()); s != "SELECT 1" || tok != 0 {
+		t.Fatalf("legacy decode: %q %d", s, tok)
+	}
+}
+
+// FuzzDecodeStats: the STATS decoder sees frames from peers of any vintage
+// (and, transitively, any truncation the trailer rules allow), so it must
+// never panic on arbitrary bytes — garbage degrades to the sticky parser
+// error or zero fields, never a crash.
+func FuzzDecodeStats(f *testing.F) {
+	var w Builder
+	seed := Stats{Statements: 1, ReadGateWaits: 2, ReadGateBounces: 3}
+	seed.Encode(&w)
+	full := w.Take()
+	f.Add(full)
+	f.Add(full[:len(full)-16]) // old peer: no gate trailer
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		_ = DecodeStats(NewParser(body))
+	})
+}
+
+// FuzzExecTokenSuffix: any (sql, token) pair survives the optional-suffix
+// framing, and the decoder never reads a token that was not sent.
+func FuzzExecTokenSuffix(f *testing.F) {
+	f.Add("SELECT 1", uint64(0))
+	f.Add("SELECT 1", uint64(777))
+	f.Add("", uint64(1))
+	f.Fuzz(func(t *testing.T, sqlText string, tok uint64) {
+		var w Builder
+		w.Str(sqlText)
+		if tok > 0 {
+			w.U64(tok)
+		}
+		r := NewParser(w.Take())
+		gotSQL := r.Str()
+		var gotTok uint64
+		if r.Rest() > 0 {
+			gotTok = r.U64()
+		}
+		if r.Err() != nil {
+			t.Fatalf("decode error: %v", r.Err())
+		}
+		if gotSQL != sqlText || gotTok != tok {
+			t.Fatalf("round trip: %q %d -> %q %d", sqlText, tok, gotSQL, gotTok)
+		}
+	})
+}

@@ -86,6 +86,17 @@ const (
 	StErr byte = 1
 )
 
+// Consistency tokens (read scale-out). A session token is a WAL LSN: the
+// primary's stream head right after the session's last commit. HELLO, EXEC
+// and QOPEN requests may append a trailing big-endian u64 min-LSN token
+// after their documented body — servers parse it only when trailing bytes
+// remain, so token-less frames from older clients work unchanged, and
+// clients omit a zero token so older servers (which reject trailing request
+// bytes) interoperate too. A replica receiving a token waits for its applier
+// to reach the LSN or bounces with ECodeReplicaBehind. In the other
+// direction, COMMIT responses and EXEC responses append a trailing u64
+// commit-LSN token that older clients simply never read.
+
 // Wire error codes. The canonical engine errors travel as codes so the
 // client can rehydrate them into the sentinels core.IsTransient and
 // errors.Is understand — PR 1's degradation ladder propagates to remote
@@ -110,6 +121,10 @@ const (
 	ECodeReplTooOld
 	ECodeReplDemoted
 	ECodeUnavailable
+	// ECodeReplicaBehind rehydrates into the transient core.ErrReplicaBehind:
+	// a replica that has not yet applied up to the session's consistency
+	// token bounces the read so the client can retry on another endpoint.
+	ECodeReplicaBehind
 )
 
 // Protocol-level sentinels (the engine ones live in internal/core).
@@ -162,6 +177,7 @@ var codeTable = []struct {
 	// or shard router can answer for an unreachable backend with a code that
 	// rehydrates into the transient core.ErrUnavailable.
 	{ECodeUnavailable, core.ErrUnavailable},
+	{ECodeReplicaBehind, core.ErrReplicaBehind},
 }
 
 // ErrorCode maps an error to its wire code (ECodeGeneric when unknown).
@@ -627,6 +643,15 @@ type Stats struct {
 	// enabled). Appended after Shards; decoders guard on remaining bytes so
 	// frames from older peers parse cleanly.
 	HTAP []HTAPStat
+
+	// Read-gate counters (PR 9's read scale-out). On a replica that gates
+	// reads on session consistency tokens: how many requests were admitted
+	// only after waiting for the applier, and how many were bounced with
+	// ErrReplicaBehind because the wait deadline passed. Appended after HTAP
+	// behind the same remaining-bytes guard, so frames from older peers
+	// parse cleanly.
+	ReadGateWaits   int64
+	ReadGateBounces int64
 }
 
 // HTAPStat is one table's column-lane state, summed across shards: how much
@@ -711,6 +736,7 @@ func (s *Stats) Encode(w *Builder) {
 		w.I64(h.Chunks).I64(h.ChunkRows).I64(h.DeltaRows).I64(h.DirtyRows)
 		w.I64(h.MigratedRows).U64(h.Watermark).U64(h.Lag).I64(h.Passes)
 	}
+	w.I64(s.ReadGateWaits).I64(s.ReadGateBounces)
 }
 
 // DecodeStats reads a stats payload.
@@ -760,6 +786,10 @@ func DecodeStats(r *Parser) Stats {
 			h.MigratedRows, h.Watermark, h.Lag, h.Passes = r.I64(), r.U64(), r.U64(), r.I64()
 			s.HTAP = append(s.HTAP, h)
 		}
+	}
+	// The read-gate trailer is absent in frames from pre-token peers.
+	if r.Err() == nil && r.Rest() > 0 {
+		s.ReadGateWaits, s.ReadGateBounces = r.I64(), r.I64()
 	}
 	return s
 }
