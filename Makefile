@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json bench-smoke chaos-smoke shard-smoke htap-smoke replica-smoke clean
+.PHONY: all build vet test race check bench bench-json bench-smoke contention-smoke chaos-smoke shard-smoke htap-smoke replica-smoke clean
 
 all: check
 
@@ -14,11 +14,12 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages (group commit, GC, version
-# space, pressure controller, the network service layer, replication, the
-# sharded engine and its 2PC path, the lock-free hash table, and the
-# WAL/wire hot paths) with -short to keep CI latency sane.
+# space, the snapshot announcement array, pressure controller, the network
+# service layer, replication, the sharded engine and its 2PC path, the
+# lock-free hash table, and the WAL/wire hot paths) with -short to keep CI
+# latency sane.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/txn/... ./internal/gc/... ./internal/mvcc/... ./internal/sql/... ./internal/server/... ./internal/client/... ./internal/repl/... ./internal/wal/... ./internal/wire/... ./internal/netfault/... ./internal/chaos/... ./internal/shard/... ./internal/htap/...
+	$(GO) test -race -short ./internal/core/... ./internal/txn/... ./internal/gc/... ./internal/mvcc/... ./internal/sts/... ./internal/sql/... ./internal/server/... ./internal/client/... ./internal/repl/... ./internal/wal/... ./internal/wire/... ./internal/netfault/... ./internal/chaos/... ./internal/shard/... ./internal/htap/...
 
 check: vet build test race
 
@@ -33,7 +34,15 @@ bench-json:
 # CI smoke: one iteration of every hot-path micro-benchmark, so bench code
 # cannot rot without failing the build.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkOLAPScan|BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit|BenchmarkShardedCommit' -benchtime=1x . ./internal/mvcc ./internal/wire ./internal/wal ./internal/shard ./internal/htap
+	$(GO) test -run '^$$' -bench 'BenchmarkOLAPScan|BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit|BenchmarkShardedCommit|BenchmarkSnapshotAcquire|BenchmarkCommitParallel' -benchtime=1x . ./internal/mvcc ./internal/wire ./internal/wal ./internal/shard ./internal/htap ./internal/sts ./internal/txn
+
+# CI smoke: the multi-core hot-path benchmarks (one iteration, pinned to
+# GOMAXPROCS=4 so the parallel paths actually interleave) plus the seqlock
+# bound-invariant race-stress test — the contention machinery cannot rot
+# without failing the build.
+contention-smoke:
+	GOMAXPROCS=4 $(GO) test -run '^$$' -bench 'BenchmarkSnapshotAcquire|BenchmarkCommitParallel' -benchtime=1x ./internal/sts ./internal/txn
+	GOMAXPROCS=4 $(GO) test -race -short -run 'TestSnapshotSetAndBoundInvariantStress' ./internal/txn
 
 # CI smoke: the deterministic network-chaos harness over a small fixed seed
 # set. Each seed runs the replicated cluster + bank workload under a seeded

@@ -32,17 +32,21 @@ import (
 
 // microPattern selects the hot-path micro-benchmarks named in the baseline
 // contract; microPackages is where they live.
-const microPattern = "BenchmarkOLAPScan|BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit|BenchmarkShardedCommit"
+const microPattern = "BenchmarkOLAPScan|BenchmarkHashGet|BenchmarkWireFrame|BenchmarkWALAppend|BenchmarkGroupCommit|BenchmarkShardedCommit|BenchmarkSnapshotAcquire|BenchmarkCommitParallel"
 
-var microPackages = []string{".", "./internal/mvcc", "./internal/wire", "./internal/wal", "./internal/shard", "./internal/htap"}
+var microPackages = []string{".", "./internal/mvcc", "./internal/wire", "./internal/wal", "./internal/shard", "./internal/htap", "./internal/sts", "./internal/txn"}
 
 // benchShards is the shard count BenchmarkShardedCommit scales to (its
 // shards=N sub-benchmark); recorded in the baseline metadata.
 const benchShards = 4
 
-// Micro is one parsed `go test -bench` result line.
+// Micro is one parsed `go test -bench` result line. GOMAXPROCS is the
+// per-point parallelism the benchmark ran at (`go test -cpu` suffixes the
+// name with -N): every benchmark appears once per entry in the CPU matrix,
+// so scaling across cores is diffable point by point.
 type Micro struct {
 	Name       string             `json:"name"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"` // unit -> value, e.g. "ns/op": 70.1
 }
@@ -63,16 +67,22 @@ type FigureJSON struct {
 	Series []SeriesJSON `json:"series,omitempty"`
 }
 
-// Baseline is the whole document. GOMAXPROCS, CPUs and Shards pin down the
-// parallelism context the numbers were taken under — shard-scaling results
-// are meaningless without knowing how many cores the run actually had.
+// Baseline is the whole document. CPUs, GOMAXPROCS, CPUMatrix and Shards pin
+// down the parallelism context the numbers were taken under — parallel and
+// shard-scaling results are meaningless without knowing how many cores the
+// run actually had. In particular, when CPUs is small the higher GOMAXPROCS
+// points of the matrix are timeshared, not truly parallel.
 type Baseline struct {
-	Date       string `json:"date"`
-	GoVersion  string `json:"go"`
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
-	CPUs       int    `json:"cpus"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// GOMAXPROCS is the benchjson process's own value; the per-point value
+	// each micro-benchmark ran at is Micro.GOMAXPROCS.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// CPUMatrix is the `go test -cpu` list the micro-benchmarks ran across.
+	CPUMatrix string `json:"cpu_matrix"`
 	// Shards is the shard count the sharded benchmarks scale up to
 	// (BenchmarkShardedCommit runs shards=1 vs shards=N).
 	Shards    int          `json:"shards"`
@@ -86,6 +96,7 @@ func main() {
 	var (
 		out       = flag.String("o", "", "output file (default BENCH_<today>.json)")
 		benchtime = flag.String("benchtime", "200ms", "go test -benchtime for the micro-benchmarks")
+		cpus      = flag.String("cpu", "1,4,16", "go test -cpu matrix for the micro-benchmarks")
 		figs      = flag.String("figs", "all", "figure ids to run (comma-separated), or 'none'")
 		quick     = flag.Bool("quick", true, "run the figure suite at quick (sub-second) scale")
 	)
@@ -104,12 +115,13 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUMatrix:  *cpus,
 		Shards:     benchShards,
 		BenchTime:  *benchtime,
 		Quick:      *quick,
 	}
 
-	micro, err := runMicro(*benchtime)
+	micro, err := runMicro(*benchtime, *cpus)
 	if err != nil {
 		fatal(err)
 	}
@@ -137,9 +149,9 @@ func main() {
 // runMicro shells out to `go test -bench` and parses the result lines. The
 // benchmarks run sequentially in their own processes, exactly as a developer
 // would run them, so the baseline reflects the numbers `go test -bench`
-// prints.
-func runMicro(benchtime string) ([]Micro, error) {
-	args := []string{"test", "-run", "^$", "-bench", microPattern, "-benchmem", "-benchtime", benchtime}
+// prints. Each benchmark runs once per GOMAXPROCS value in the cpu matrix.
+func runMicro(benchtime, cpus string) ([]Micro, error) {
+	args := []string{"test", "-run", "^$", "-bench", microPattern, "-benchmem", "-benchtime", benchtime, "-cpu", cpus}
 	args = append(args, microPackages...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -164,7 +176,10 @@ func runMicro(benchtime string) ([]Micro, error) {
 //
 //	BenchmarkName-8   123456   70.1 ns/op   0 B/op   0 allocs/op   3.0 extra/unit
 //
-// Fields after the iteration count come in (value, unit) pairs.
+// Fields after the iteration count come in (value, unit) pairs. The trailing
+// -N of the name is the GOMAXPROCS the point ran at (absent means 1); it is
+// split into its own field so the same benchmark is diffable across the cpu
+// matrix by name.
 func parseBenchLine(line string) (Micro, bool) {
 	f := strings.Fields(line)
 	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
@@ -174,7 +189,8 @@ func parseBenchLine(line string) (Micro, bool) {
 	if err != nil {
 		return Micro{}, false
 	}
-	m := Micro{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	name, procs := splitCPUSuffix(f[0])
+	m := Micro{Name: name, GOMAXPROCS: procs, Iterations: iters, Metrics: map[string]float64{}}
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
@@ -183,6 +199,21 @@ func parseBenchLine(line string) (Micro, bool) {
 		m.Metrics[f[i+1]] = v
 	}
 	return m, true
+}
+
+// splitCPUSuffix separates the -N GOMAXPROCS suffix `go test` appends to
+// benchmark names (only when N > 1) from the name proper. Sub-benchmark
+// segments like "/shards=4-16" keep everything but the final suffix.
+func splitCPUSuffix(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
 }
 
 // runFigures runs the paper-figure suite in-process and captures the

@@ -40,10 +40,7 @@ func (r Regions) String() string {
 // same locks the collectors take and is priced accordingly.
 func CurrentRegions(m *txn.Manager) Regions {
 	unionMin := m.GlobalHorizon()
-	globalMin := m.CurrentTS() + 1
-	if min, ok := m.Registry().Global().Min(); ok {
-		globalMin = min
-	}
+	globalMin := m.GlobalTrackerHorizon()
 	r := Regions{UnionMin: uint64(unionMin), GlobalMin: uint64(globalMin)}
 	m.Space().Groups.Ascending(func(g *mvcc.GroupCommitContext) bool {
 		cid := g.CID()

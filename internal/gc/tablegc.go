@@ -145,11 +145,8 @@ func (c *TableGC) Collect() RunStats {
 	return st
 }
 
-// globalTrackerBound returns the minimum of the global (not per-table) STS
-// tracker, or everything-committed when it is empty.
+// globalTrackerBound returns the minimum over unscoped (not table-scoped)
+// snapshot announcements, or everything-committed when there are none.
 func (c *TableGC) globalTrackerBound() ts.CID {
-	if min, ok := c.m.Registry().Global().Min(); ok {
-		return min
-	}
-	return c.m.CurrentTS() + 1
+	return c.m.GlobalTrackerHorizon()
 }

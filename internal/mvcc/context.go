@@ -86,9 +86,12 @@ type GroupCommitContext struct {
 	cid  atomic.Uint64
 	txns []*TransContext
 
-	// list linkage, guarded by the owning GroupList's mutex.
-	prev, next *GroupCommitContext
-	removed    bool
+	// List linkage. Structural changes are serialized by the owning
+	// GroupList's mutex, but the pointers are atomics so iterators can walk
+	// the list without taking it — commit publication must stay cheap while
+	// collectors read the list.
+	prev, next atomic.Pointer[GroupCommitContext]
+	removed    bool // guarded by the GroupList mutex
 }
 
 // NewGroup creates a commit group over the given transaction contexts and
@@ -143,11 +146,20 @@ func (g *GroupCommitContext) Versions() []*Version {
 // GroupList is the ordered list of GroupCommitContext objects (Figure 7).
 // Groups are appended in commit order, which is CID order, and removed by
 // the group collector once fully reclaimed.
+//
+// Structural changes (Append/Remove) serialize on the mutex, but their
+// critical sections are O(1) pointer swings and iteration never takes the
+// lock at all: Ascending/Descending walk the atomic links live, so commit
+// publication does not contend with collectors copying the whole list (the
+// old design materialized a full slice under the lock per scan). A removed
+// group keeps its own outgoing pointers, so an iterator standing on it
+// continues into the remaining list — the same unlink discipline the
+// lock-free RID hash uses.
 type GroupList struct {
 	mu    sync.Mutex
-	head  *GroupCommitContext
-	tail  *GroupCommitContext
-	count int
+	head  atomic.Pointer[GroupCommitContext]
+	tail  atomic.Pointer[GroupCommitContext]
+	count atomic.Int64
 }
 
 // NewGroupList returns an empty list.
@@ -158,18 +170,24 @@ func NewGroupList() *GroupList { return &GroupList{} }
 func (gl *GroupList) Append(g *GroupCommitContext) {
 	gl.mu.Lock()
 	defer gl.mu.Unlock()
-	g.prev = gl.tail
-	g.next = nil
-	if gl.tail != nil {
-		gl.tail.next = g
+	t := gl.tail.Load()
+	g.prev.Store(t)
+	// Publish the tail before linking the predecessor's next pointer: a
+	// descending iterator that loads the new tail finds its prev already
+	// set; an ascending iterator either misses g (it was appended mid-scan)
+	// or sees it fully linked.
+	gl.tail.Store(g)
+	if t != nil {
+		t.next.Store(g)
 	} else {
-		gl.head = g
+		gl.head.Store(g)
 	}
-	gl.tail = g
-	gl.count++
+	gl.count.Add(1)
 }
 
-// Remove unlinks a fully reclaimed group. Removing twice is a no-op.
+// Remove unlinks a fully reclaimed group. Removing twice is a no-op. The
+// removed group's own prev/next stay intact so concurrent iterators standing
+// on it keep walking the list.
 func (gl *GroupList) Remove(g *GroupCommitContext) {
 	gl.mu.Lock()
 	defer gl.mu.Unlock()
@@ -177,32 +195,31 @@ func (gl *GroupList) Remove(g *GroupCommitContext) {
 		return
 	}
 	g.removed = true
-	if g.prev != nil {
-		g.prev.next = g.next
+	p, n := g.prev.Load(), g.next.Load()
+	if p != nil {
+		p.next.Store(n)
 	} else {
-		gl.head = g.next
+		gl.head.Store(n)
 	}
-	if g.next != nil {
-		g.next.prev = g.prev
+	if n != nil {
+		n.prev.Store(p)
 	} else {
-		gl.tail = g.prev
+		gl.tail.Store(p)
 	}
-	g.prev, g.next = nil, nil
-	gl.count--
+	gl.count.Add(-1)
 }
 
 // Len returns the number of groups currently linked.
 func (gl *GroupList) Len() int {
-	gl.mu.Lock()
-	defer gl.mu.Unlock()
-	return gl.count
+	return int(gl.count.Load())
 }
 
 // Ascending calls fn on each group from the oldest CID upward until fn
-// returns false. The snapshot of the list is taken under the lock, so fn
-// runs without holding it and may call Remove.
+// returns false. Iteration is lock-free and live: fn may call Remove
+// (including on the group it was handed), and groups appended or removed
+// mid-scan may or may not be visited.
 func (gl *GroupList) Ascending(fn func(*GroupCommitContext) bool) {
-	for _, g := range gl.slice() {
+	for g := gl.head.Load(); g != nil; g = g.next.Load() {
 		if !fn(g) {
 			return
 		}
@@ -211,23 +228,11 @@ func (gl *GroupList) Ascending(fn func(*GroupCommitContext) bool) {
 
 // Descending calls fn on each group from the newest CID downward until fn
 // returns false (the interval collector's highest-CID-first iteration, §4.2
-// step 3).
+// step 3). Same liveness contract as Ascending.
 func (gl *GroupList) Descending(fn func(*GroupCommitContext) bool) {
-	s := gl.slice()
-	for i := len(s) - 1; i >= 0; i-- {
-		if !fn(s[i]) {
+	for g := gl.tail.Load(); g != nil; g = g.prev.Load() {
+		if !fn(g) {
 			return
 		}
 	}
-}
-
-// slice copies the current membership under the lock.
-func (gl *GroupList) slice() []*GroupCommitContext {
-	gl.mu.Lock()
-	defer gl.mu.Unlock()
-	out := make([]*GroupCommitContext, 0, gl.count)
-	for g := gl.head; g != nil; g = g.next {
-		out = append(out, g)
-	}
-	return out
 }

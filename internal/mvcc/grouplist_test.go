@@ -1,0 +1,102 @@
+package mvcc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hybridgc/internal/ts"
+)
+
+// TestGroupListLiveIteration hammers lock-free Ascending/Descending walks
+// against a concurrent appender and remover. Along any walk the CIDs must be
+// strictly monotonic (next pointers only ever lead to later groups, even
+// across removed nodes), and a walk standing on a removed group must keep
+// going rather than fall off the list.
+func TestGroupListLiveIteration(t *testing.T) {
+	gl := NewGroupList()
+	const total = 5000
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	groups := make(chan *GroupCommitContext, total)
+	wg.Add(1)
+	go func() { // appender: publishes groups in CID order
+		defer wg.Done()
+		defer close(groups)
+		for i := 1; i <= total; i++ {
+			g := NewGroup(nil)
+			g.AssignCID(ts.CID(i))
+			gl.Append(g)
+			groups <- g
+		}
+	}()
+	wg.Add(1)
+	go func() { // remover: unlinks them again, oldest first
+		defer wg.Done()
+		for g := range groups {
+			gl.Remove(g)
+		}
+		stop.Store(true)
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				var prev ts.CID
+				gl.Ascending(func(g *GroupCommitContext) bool {
+					if c := g.CID(); c <= prev {
+						t.Errorf("ascending walk not monotonic: %d after %d", c, prev)
+						return false
+					} else {
+						prev = c
+					}
+					return true
+				})
+				last := ts.CID(total) + 1
+				gl.Descending(func(g *GroupCommitContext) bool {
+					if c := g.CID(); c >= last {
+						t.Errorf("descending walk not monotonic: %d before %d", c, last)
+						return false
+					}
+					last = g.CID()
+					return true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if n := gl.Len(); n != 0 {
+		t.Fatalf("list not empty after all removes: %d", n)
+	}
+}
+
+// TestGroupListRemoveDuringIteration checks the GT-collector pattern: fn
+// removes the group it was handed and the walk continues into the rest of
+// the list.
+func TestGroupListRemoveDuringIteration(t *testing.T) {
+	gl := NewGroupList()
+	for i := 1; i <= 10; i++ {
+		g := NewGroup(nil)
+		g.AssignCID(ts.CID(i))
+		gl.Append(g)
+	}
+	var seen []ts.CID
+	gl.Ascending(func(g *GroupCommitContext) bool {
+		seen = append(seen, g.CID())
+		gl.Remove(g)
+		return true
+	})
+	if len(seen) != 10 {
+		t.Fatalf("walk visited %d of 10 groups: %v", len(seen), seen)
+	}
+	if gl.Len() != 0 {
+		t.Fatalf("list not empty: %d", gl.Len())
+	}
+	// Removing again is a no-op and the list stays consistent.
+	gl.Ascending(func(*GroupCommitContext) bool {
+		t.Fatal("empty list must not yield groups")
+		return false
+	})
+}

@@ -2,16 +2,31 @@ package sts
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"hybridgc/internal/ts"
 )
 
-// Registry owns the global STS tracker, the per-table trackers created on
-// demand by the table garbage collector, and the pre-materialized union of
-// all of them (§4.4). Snapshots interact with the registry through Handles.
+// Registry owns the snapshot announcement slot array (the contention-free
+// fast path for unscoped snapshots), the locked overflow tracker behind it,
+// the per-table trackers created on demand by the table garbage collector,
+// and the union tracker covering everything that is not slot-resident (§4.4).
+// Snapshots interact with the registry through Handles.
+//
+// The collector-facing views (GlobalMin, UnionMin, GlobalSnapshot,
+// UnionSnapshot, EffectiveMin...) merge the slot array with the relevant
+// trackers, so callers see one logical tracker regardless of which physical
+// structure a snapshot currently announces through.
 type Registry struct {
+	slots slotArray
+
+	// global holds unscoped snapshots that found no free slot (overflow) —
+	// the locked refcounted list is the slow path, not the common case.
 	global *Tracker
-	union  *Tracker
+	// union holds every snapshot that is not slot-resident: overflow,
+	// table-scoped and partition-scoped. Slot residents are merged in by the
+	// Union* views.
+	union *Tracker
 
 	mu       sync.RWMutex
 	perTable map[ts.TableID]*Tracker
@@ -28,108 +43,194 @@ func NewRegistry() *Registry {
 	}
 }
 
-// Handle is what one snapshot holds while active. It pins its timestamp in
-// the global tracker (or, after the table collector scoped it, in one or more
-// per-table trackers) and always in the union tracker.
+// Handle states. A handle is born slot-resident (or ref-based on overflow),
+// moves slot→refs when the table collector scopes it, and ends released.
+const (
+	handleSlot int32 = iota
+	handleRefs
+	handleReleased
+)
+
+// Handle is what one snapshot holds while active. In the common case it is
+// one occupied cell of the announcement array and Release is a single atomic
+// store; once the table collector scopes it (or on slot overflow) it holds
+// refcounted tracker references like the pre-slot-array design.
 type Handle struct {
 	reg *Registry
 	ts  ts.CID
 
-	mu       sync.Mutex
-	scoped   []ts.TableID // nil while in the global tracker and unscoped
-	refs     []*Ref       // global ref, per-table refs, or per-partition refs
-	unionRef *Ref
-	released bool
+	// state is the fast-path coordination point: Release CASes
+	// handleSlot→handleReleased without touching mu; scoping CASes
+	// handleSlot→handleRefs under mu and rolls back if Release won the race.
+	state atomic.Int32
+	slot  int32 // announcement slot index while state == handleSlot
+
+	mu       sync.Mutex   // guards the fields below (scoped/ref-based states)
+	scoped   []ts.TableID // nil while unscoped
+	refs     []*Ref       // overflow global ref, per-table refs, or per-partition refs
+	unionRef *Ref         // held only while state == handleRefs
 }
 
 // TS returns the snapshot timestamp the handle pins.
 func (h *Handle) TS() ts.CID { return h.ts }
 
 // Scoped returns the tables the handle was narrowed to by table GC, or nil
-// while it still pins the global tracker.
+// while it is still unscoped.
 func (h *Handle) Scoped() []ts.TableID {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return append([]ts.TableID(nil), h.scoped...)
 }
 
-// Acquire pins timestamp c in the global tracker (and in the union) and
-// returns the handle the snapshot must release when it finishes.
-func (r *Registry) Acquire(c ts.CID) *Handle {
-	return &Handle{
-		reg:      r,
-		ts:       c,
-		refs:     []*Ref{r.global.Acquire(c)},
-		unionRef: r.union.Acquire(c),
+// Hint returns a small integer that spreads concurrent handles (slot index on
+// the fast path); the snapshot monitor uses it to pick a stripe.
+func (h *Handle) Hint() uint32 {
+	if i := h.slot; i >= 0 {
+		return uint32(i)
 	}
+	return uint32(h.ts)
 }
 
-// Release drops every reference the handle holds. Safe to call exactly once;
-// a second call panics, mirroring a double snapshot close.
+// Acquire pins timestamp c and returns a fresh handle. The replication layer
+// uses this form; the transaction manager embeds the handle in its Snapshot
+// and calls AcquireInto to avoid the allocation.
+func (r *Registry) Acquire(c ts.CID) *Handle {
+	h := new(Handle)
+	r.AcquireInto(h, c)
+	return h
+}
+
+// AcquireInto pins timestamp c into h, which must be zero-valued or released.
+// On the fast path this is one CAS into the announcement array; only when
+// the array is full does it fall back to the locked trackers.
+func (r *Registry) AcquireInto(h *Handle, c ts.CID) {
+	h.reg = r
+	h.ts = c
+	h.scoped = nil
+	if i := r.slots.acquire(c); i >= 0 {
+		h.slot = i
+		h.refs = nil
+		h.unionRef = nil
+		h.state.Store(handleSlot)
+		return
+	}
+	h.slot = -1
+	h.refs = []*Ref{r.global.Acquire(c)}
+	h.unionRef = r.union.Acquire(c)
+	h.state.Store(handleRefs)
+}
+
+// Release drops the handle's announcement or references. Safe to call exactly
+// once; a second call panics, mirroring a double snapshot close.
 func (h *Handle) Release() {
+	if h.state.CompareAndSwap(handleSlot, handleReleased) {
+		h.reg.slots.release(h.slot)
+		return
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.released {
+	if !h.state.CompareAndSwap(handleRefs, handleReleased) {
 		panic("sts: Handle released twice")
 	}
-	h.released = true
 	for _, r := range h.refs {
 		r.Release()
 	}
 	h.refs = nil
 	h.unionRef.Release()
+	h.unionRef = nil
 }
 
 // ScopeToTables is the table collector's step 2 (§4.3): the snapshot's
-// timestamp moves from the global tracker to the per-table trackers of the
-// given tables. The union is unaffected. Scoping an already-scoped or
-// released handle is a no-op; callers pass the complete table set once.
-// It reports whether the move happened.
+// timestamp moves from the global announcement (slot or overflow tracker) to
+// the per-table trackers of the given tables, joining the union tracker if it
+// was slot-resident. New references are acquired before the old announcement
+// is retracted, so the timestamp stays continuously pinned. Scoping an
+// already-scoped or released handle is a no-op; callers pass the complete
+// table set once. It reports whether the move happened.
 func (h *Handle) ScopeToTables(tables []ts.TableID) bool {
 	if len(tables) == 0 {
 		return false
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.released || h.scoped != nil {
+	newRefs := func() []*Ref {
+		out := make([]*Ref, 0, len(tables))
+		for _, tid := range tables {
+			out = append(out, h.reg.tableTracker(tid).Acquire(h.ts))
+		}
+		return out
+	}
+	if !h.scopeLocked(newRefs) {
 		return false
 	}
-	newRefs := make([]*Ref, 0, len(tables))
-	for _, tid := range tables {
-		newRefs = append(newRefs, h.reg.tableTracker(tid).Acquire(h.ts))
-	}
-	for _, r := range h.refs {
-		r.Release()
-	}
-	h.refs = newRefs
 	h.scoped = append([]ts.TableID(nil), tables...)
 	return true
 }
 
 // ScopeToPartitions is the partition-granular variant of ScopeToTables
 // (§4.3's finer-granular semantic optimization): the snapshot's timestamp
-// moves from the global tracker to the per-partition trackers of the given
-// partitions of one table, so it only blocks reclamation inside those
-// partitions. Reports whether the move happened.
+// moves to the per-partition trackers of the given partitions of one table,
+// so it only blocks reclamation inside those partitions. Reports whether the
+// move happened.
 func (h *Handle) ScopeToPartitions(table ts.TableID, parts []ts.PartitionID) bool {
 	if len(parts) == 0 {
 		return false
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.released || h.scoped != nil {
+	newRefs := func() []*Ref {
+		out := make([]*Ref, 0, len(parts))
+		for _, p := range parts {
+			out = append(out, h.reg.partTracker(table, p).Acquire(h.ts))
+		}
+		return out
+	}
+	if !h.scopeLocked(newRefs) {
 		return false
 	}
-	newRefs := make([]*Ref, 0, len(parts))
-	for _, p := range parts {
-		newRefs = append(newRefs, h.reg.partTracker(table, p).Acquire(h.ts))
-	}
-	for _, r := range h.refs {
-		r.Release()
-	}
-	h.refs = newRefs
 	h.scoped = []ts.TableID{table}
 	return true
+}
+
+// scopeLocked performs the state transition common to both scope variants.
+// Caller holds h.mu; acquire builds the replacement refs. The acquire-new-
+// then-release-old order keeps the timestamp pinned throughout, and the CAS
+// against h.state resolves the race with the lock-free Release fast path: if
+// Release wins, the freshly acquired refs are rolled back.
+func (h *Handle) scopeLocked(acquire func() []*Ref) bool {
+	switch h.state.Load() {
+	case handleReleased:
+		return false
+	case handleSlot:
+		if h.scoped != nil {
+			return false
+		}
+		refs := acquire()
+		newUnion := h.reg.union.Acquire(h.ts)
+		if !h.state.CompareAndSwap(handleSlot, handleRefs) {
+			// Release won the race (slot already retracted there).
+			for _, r := range refs {
+				r.Release()
+			}
+			newUnion.Release()
+			return false
+		}
+		h.reg.slots.release(h.slot)
+		h.slot = -1
+		h.refs = refs
+		h.unionRef = newUnion
+		return true
+	default: // handleRefs: overflow handle, already in the union
+		if h.scoped != nil {
+			return false
+		}
+		refs := acquire()
+		for _, r := range h.refs {
+			r.Release()
+		}
+		h.refs = refs
+		return true
+	}
 }
 
 // partTracker returns (creating on demand) the tracker for one partition.
@@ -167,20 +268,42 @@ func (r *Registry) tableTracker(tid ts.TableID) *Tracker {
 	return tr
 }
 
-// Global returns the global tracker (snapshots not yet scoped by table GC).
-func (r *Registry) Global() *Tracker { return r.global }
+// GlobalMin returns the minimum over unscoped snapshots (announcement slots
+// plus the overflow tracker) — the timestamp below which only table-scoped
+// snapshots can still pin versions. ok is false when no unscoped snapshot is
+// active.
+func (r *Registry) GlobalMin() (ts.CID, bool) {
+	sm, sok := r.slots.min()
+	tm, tok := r.global.Min()
+	return minOf(sm, sok, tm, tok)
+}
 
-// Union returns the pre-materialized union of the global tracker and all
-// per-table trackers. Its Min is the safe system-wide minimum; its Snapshot
-// is the S sequence the interval collector consumes.
-func (r *Registry) Union() *Tracker { return r.union }
+// GlobalSnapshot returns the ascending distinct timestamps of all unscoped
+// snapshots.
+func (r *Registry) GlobalSnapshot() []ts.CID {
+	return mergeSorted(r.slots.sorted(), r.global.Snapshot())
+}
 
-// UnionMin returns the minimum over the global tracker and every per-table
-// tracker, i.e. the timestamp below which the group collector may reclaim
-// whole groups even in the presence of table-scoped snapshots. ok is false
-// when no snapshot is active anywhere.
+// GlobalLen returns the number of distinct unscoped snapshot timestamps.
+func (r *Registry) GlobalLen() int {
+	return len(r.GlobalSnapshot())
+}
+
+// UnionMin returns the minimum over every active snapshot anywhere —
+// announcement slots, overflow, per-table and per-partition trackers — i.e.
+// the timestamp below which the group collector may reclaim whole groups even
+// in the presence of table-scoped snapshots. ok is false when no snapshot is
+// active.
 func (r *Registry) UnionMin() (ts.CID, bool) {
-	return r.union.Min()
+	sm, sok := r.slots.min()
+	um, uok := r.union.Min()
+	return minOf(sm, sok, um, uok)
+}
+
+// UnionSnapshot returns the ascending distinct timestamps of every active
+// snapshot — the S sequence the interval collector consumes (§4.2 step 1).
+func (r *Registry) UnionSnapshot() []ts.CID {
+	return mergeSorted(r.slots.sorted(), r.union.Snapshot())
 }
 
 // minOf folds optional minima.
@@ -201,13 +324,13 @@ func minOf(a ts.CID, aok bool, b ts.CID, bok bool) (ts.CID, bool) {
 }
 
 // EffectiveMin returns the reclamation horizon for versions of table tid:
-// the minimum of the global tracker, the table's own tracker, and every
+// the minimum of the unscoped snapshots, the table's own tracker, and every
 // partition tracker of the table (a partition-scoped snapshot constrains
 // the whole table at this granularity). Snapshots scoped to *other* tables
 // do not constrain tid (§4.3 step 3). ok is false when nothing constrains
 // the table at all.
 func (r *Registry) EffectiveMin(tid ts.TableID) (ts.CID, bool) {
-	min, ok := r.global.Min()
+	min, ok := r.GlobalMin()
 	r.mu.RLock()
 	tr := r.perTable[tid]
 	byPart := r.perPart[tid]
@@ -228,12 +351,12 @@ func (r *Registry) EffectiveMin(tid ts.TableID) (ts.CID, bool) {
 }
 
 // EffectiveMinAt returns the reclamation horizon for versions inside one
-// partition: the minimum of the global tracker, the table tracker, and that
-// partition's own tracker — snapshots scoped to *other* partitions of the
-// same table do not constrain it. This is the finer horizon the
+// partition: the minimum of the unscoped snapshots, the table tracker, and
+// that partition's own tracker — snapshots scoped to *other* partitions of
+// the same table do not constrain it. This is the finer horizon the
 // partition-level table collector uses.
 func (r *Registry) EffectiveMinAt(tid ts.TableID, p ts.PartitionID) (ts.CID, bool) {
-	min, ok := r.global.Min()
+	min, ok := r.GlobalMin()
 	r.mu.RLock()
 	tr := r.perTable[tid]
 	var pt *Tracker
@@ -253,12 +376,12 @@ func (r *Registry) EffectiveMinAt(tid ts.TableID, p ts.PartitionID) (ts.CID, boo
 }
 
 // SnapshotFor returns the ascending set of snapshot timestamps that constrain
-// table tid: the global tracker plus tid's per-table and per-partition
+// table tid: the unscoped snapshots plus tid's per-table and per-partition
 // trackers. This is the table-aware S sequence for interval collection; the
-// paper's implementation uses the full union instead, which
-// Union().Snapshot() provides.
+// paper's implementation uses the full union instead, which UnionSnapshot
+// provides.
 func (r *Registry) SnapshotFor(tid ts.TableID) []ts.CID {
-	out := r.global.Snapshot()
+	out := r.GlobalSnapshot()
 	r.mu.RLock()
 	tr := r.perTable[tid]
 	byPart := r.perPart[tid]

@@ -1,0 +1,203 @@
+package sts
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hybridgc/internal/ts"
+)
+
+func TestSlotArrayBasics(t *testing.T) {
+	var a slotArray
+	if _, ok := a.min(); ok {
+		t.Fatal("empty array must report no minimum")
+	}
+	i0 := a.acquire(0) // CID 0 is valid: the commit counter starts there
+	i5 := a.acquire(5)
+	i3 := a.acquire(3)
+	if i0 < 0 || i5 < 0 || i3 < 0 {
+		t.Fatalf("acquire failed: %d %d %d", i0, i5, i3)
+	}
+	if m, ok := a.min(); !ok || m != 0 {
+		t.Fatalf("min = %d,%v want 0,true", m, ok)
+	}
+	if got, want := a.sorted(), []ts.CID{0, 3, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("sorted = %v, want %v", got, want)
+	}
+	a.release(i0)
+	if m, _ := a.min(); m != 3 {
+		t.Fatalf("min after release = %d, want 3", m)
+	}
+	a.release(i3)
+	a.release(i5)
+	if _, ok := a.min(); ok {
+		t.Fatal("array should be empty")
+	}
+}
+
+func TestSlotArraySortedDedups(t *testing.T) {
+	var a slotArray
+	for i := 0; i < 10; i++ {
+		if a.acquire(42) < 0 {
+			t.Fatal("acquire failed")
+		}
+	}
+	if got, want := a.sorted(), []ts.CID{42}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("sorted = %v, want %v", got, want)
+	}
+}
+
+func TestSlotArrayOverflow(t *testing.T) {
+	var a slotArray
+	idx := make([]int32, 0, slotCount)
+	for i := 0; i < slotCount; i++ {
+		j := a.acquire(ts.CID(i))
+		if j < 0 {
+			t.Fatalf("acquire %d failed with free slots remaining", i)
+		}
+		idx = append(idx, j)
+	}
+	if a.acquire(999) >= 0 {
+		t.Fatal("acquire must fail on a full array")
+	}
+	a.release(idx[7])
+	if a.acquire(999) < 0 {
+		t.Fatal("acquire must succeed after a release")
+	}
+}
+
+func TestSlotArrayRejectsInfinity(t *testing.T) {
+	var a slotArray
+	if a.acquire(ts.Infinity) >= 0 {
+		t.Fatal("Infinity is outside the encodable domain and must overflow")
+	}
+}
+
+// TestRegistryOverflowFallback fills the slot array and checks that overflow
+// handles behave identically through the merged views, scoping, and release.
+func TestRegistryOverflowFallback(t *testing.T) {
+	r := NewRegistry()
+	handles := make([]*Handle, 0, slotCount)
+	for i := 0; i < slotCount; i++ {
+		handles = append(handles, r.Acquire(1000))
+	}
+	over := r.Acquire(500) // lands in the overflow tracker
+	if over.slot != -1 {
+		t.Fatal("expected overflow handle")
+	}
+	if m, _ := r.GlobalMin(); m != 500 {
+		t.Fatalf("GlobalMin = %d, want 500 (overflow merged)", m)
+	}
+	if m, _ := r.UnionMin(); m != 500 {
+		t.Fatalf("UnionMin = %d, want 500", m)
+	}
+	if got, want := r.GlobalSnapshot(), []ts.CID{500, 1000}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("GlobalSnapshot = %v, want %v", got, want)
+	}
+	if !over.ScopeToTables([]ts.TableID{3}) {
+		t.Fatal("scoping an overflow handle must succeed")
+	}
+	if m, _ := r.GlobalMin(); m != 1000 {
+		t.Fatalf("GlobalMin after scope = %d, want 1000", m)
+	}
+	if m, _ := r.EffectiveMin(3); m != 500 {
+		t.Fatalf("EffectiveMin(3) = %d, want 500", m)
+	}
+	over.Release()
+	for _, h := range handles {
+		h.Release()
+	}
+	if _, ok := r.UnionMin(); ok {
+		t.Fatal("registry should be empty")
+	}
+}
+
+func TestHandleDoubleReleasePanics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Acquire(1)
+	h.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release must panic")
+		}
+	}()
+	h.Release()
+}
+
+func TestAcquireIntoReuse(t *testing.T) {
+	r := NewRegistry()
+	var h Handle
+	for i := 0; i < 3*slotCount; i++ {
+		r.AcquireInto(&h, ts.CID(i))
+		if m, ok := r.GlobalMin(); !ok || m != ts.CID(i) {
+			t.Fatalf("GlobalMin = %d,%v want %d", m, ok, i)
+		}
+		h.Release()
+	}
+	if _, ok := r.GlobalMin(); ok {
+		t.Fatal("registry should be empty")
+	}
+}
+
+// TestScopeReleaseRace hammers the Release fast path against concurrent
+// scoping: exactly one of the two must win, nothing may leak, and the
+// timestamp must stay pinned until the release.
+func TestScopeReleaseRace(t *testing.T) {
+	r := NewRegistry()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		guard := r.Acquire(1) // keeps the registry non-empty for the checks
+		h := r.Acquire(2)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			h.ScopeToTables([]ts.TableID{ts.TableID(rng.Intn(4) + 1)})
+		}()
+		go func() {
+			defer wg.Done()
+			h.Release()
+		}()
+		wg.Wait()
+		guard.Release()
+		if m, ok := r.UnionMin(); ok {
+			t.Fatalf("iteration %d: leaked pin at %d", i, m)
+		}
+	}
+}
+
+// TestRegistryConcurrentAcquireRelease checks the merged min never exceeds a
+// timestamp the goroutine itself still pins.
+func TestRegistryConcurrentAcquireRelease(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var h Handle
+			for i := 0; i < 2000; i++ {
+				c := ts.CID(rng.Intn(64) + 1)
+				r.AcquireInto(&h, c)
+				if m, ok := r.GlobalMin(); !ok || m > c {
+					t.Errorf("GlobalMin %d,%v exceeds live pin %d", m, ok, c)
+					h.Release()
+					return
+				}
+				if m, ok := r.UnionMin(); !ok || m > c {
+					t.Errorf("UnionMin %d,%v exceeds live pin %d", m, ok, c)
+					h.Release()
+					return
+				}
+				h.Release()
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if _, ok := r.UnionMin(); ok {
+		t.Fatal("registry should be empty")
+	}
+}

@@ -1,9 +1,14 @@
 // Package sts implements the snapshot timestamp trackers of §4.1 and §4.3 of
-// the paper: the global STS tracker (an ordered list of reference-counted
-// snapshot timestamp values whose head is the global minimum), per-table STS
-// trackers used by the table garbage collector, and the pre-materialized
-// union of all trackers that the group and interval collectors consult once
-// table GC has moved snapshots out of the global tracker (§4.4).
+// the paper. The hot path is a per-slot announcement array (slots.go): an
+// unscoped snapshot publishes its timestamp with one CAS and retracts it with
+// one atomic store, and the ordered view is rebuilt lazily only when a GC
+// pass asks for the min or the S sequence. Behind it sit the classic
+// refcounted ordered-list Trackers (this file) — the overflow store for the
+// announcement array, the per-table/per-partition trackers used by the table
+// garbage collector, and the union tracker the group and interval collectors
+// consult once table GC has moved snapshots out of the global view (§4.4).
+// The locked Tracker also serves as the cost-model baseline the parallel
+// acquire benchmark compares the slot array against.
 package sts
 
 import (

@@ -152,9 +152,9 @@ func TestRegistryScopeMovesSnapshot(t *testing.T) {
 	if !h1.ScopeToTables([]ts.TableID{1}) {
 		t.Fatal("scoping must succeed")
 	}
-	// Global tracker no longer holds 100.
-	if m, ok := r.Global().Min(); !ok || m != 200 {
-		t.Fatalf("global Min = %d,%v want 200", m, ok)
+	// The unscoped view no longer holds 100.
+	if m, ok := r.GlobalMin(); !ok || m != 200 {
+		t.Fatalf("GlobalMin = %d,%v want 200", m, ok)
 	}
 	// Union still does.
 	if m, _ := r.UnionMin(); m != 100 {
@@ -208,7 +208,7 @@ func TestRegistryFigure8(t *testing.T) {
 		t.Errorf("union min = %d, want 2057", m)
 	}
 	want := []ts.CID{2057, 2089, 2100}
-	if got := r.Union().Snapshot(); !reflect.DeepEqual(got, want) {
+	if got := r.UnionSnapshot(); !reflect.DeepEqual(got, want) {
 		t.Errorf("union snapshot = %v, want %v", got, want)
 	}
 	s1.Release()
@@ -287,8 +287,8 @@ func TestPartitionScoping(t *testing.T) {
 	if long.ScopeToPartitions(7, []ts.PartitionID{1}) {
 		t.Fatal("second scope must be refused")
 	}
-	// Global tracker no longer holds 50; union still does.
-	if m, _ := r.Global().Min(); m != 100 {
+	// The unscoped view no longer holds 50; the union still does.
+	if m, _ := r.GlobalMin(); m != 100 {
 		t.Fatalf("global min = %d", m)
 	}
 	if m, _ := r.UnionMin(); m != 50 {

@@ -1,0 +1,67 @@
+package txn
+
+import "sync"
+
+// commitIntake is the committer's sharded MPSC inbox. Producers append to
+// one of several padded, independently-locked stripes (the stripe travels
+// with the pooled commitReq, giving per-P affinity) and set a cap-1
+// notification token; the single committer sweeps every stripe into one
+// batch per wakeup. Compared to the old shared channel this removes the
+// one-cell-at-a-time handoff and lets concurrent committers on different
+// cores enqueue without touching the same cache line.
+//
+// Lost wakeups are impossible: a producer appends under its stripe mutex
+// before offering the token, so whichever sweep consumes the token (this
+// one or a later one) acquires that mutex afterwards and observes the
+// request. A dropped offer means the token was already set, and the sweep
+// that eventually takes it runs after the append for the same reason.
+const (
+	intakeStripes    = 8
+	intakeStripeMask = intakeStripes - 1
+)
+
+type intakeStripe struct {
+	mu   sync.Mutex
+	reqs []*commitReq
+	// Pad to keep neighbouring stripes off one cache line (mutex word +
+	// slice header = 32 bytes on 64-bit).
+	_ [96]byte
+}
+
+type commitIntake struct {
+	stripes [intakeStripes]intakeStripe
+	notify  chan struct{}
+}
+
+func (q *commitIntake) init() {
+	q.notify = make(chan struct{}, 1)
+}
+
+// put enqueues one request and wakes the committer.
+func (q *commitIntake) put(r *commitReq) {
+	s := &q.stripes[r.stripe&intakeStripeMask]
+	s.mu.Lock()
+	s.reqs = append(s.reqs, r)
+	s.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// drain sweeps every stripe, in a fixed order, appending all queued requests
+// to into (which is returned grown). Stripe buffers are cleared but keep
+// their capacity, so a warmed-up committer sweep allocates nothing.
+func (q *commitIntake) drain(into []*commitReq) []*commitReq {
+	for i := range q.stripes {
+		s := &q.stripes[i]
+		s.mu.Lock()
+		into = append(into, s.reqs...)
+		for j := range s.reqs {
+			s.reqs[j] = nil
+		}
+		s.reqs = s.reqs[:0]
+		s.mu.Unlock()
+	}
+	return into
+}

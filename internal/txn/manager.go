@@ -5,6 +5,11 @@
 // GroupCommitContext (§2.2), followed by asynchronous backward CID
 // propagation. It also hosts the system monitor that tracks every active
 // snapshot's age and table scope for the table garbage collector (§4.3).
+//
+// The two hot paths are built to scale across cores (DESIGN.md §15): snapshot
+// acquisition publishes into the sts announcement array guarded only by a
+// seqlock against GC scans, and commit submission goes through pooled
+// requests and a sharded MPSC intake instead of one contended channel.
 package txn
 
 import (
@@ -114,19 +119,25 @@ type Manager struct {
 
 	commitTS  atomic.Uint64
 	nextTxnID atomic.Uint64
-	// snapMu makes snapshot acquisition atomic with tracker registration,
-	// so SnapshotSetAndBound can promise that later snapshots sit at or
-	// above its bound.
-	snapMu sync.Mutex
 
-	commitCh chan *commitReq
-	propCh   chan *mvcc.GroupCommitContext
-	quit     chan struct{}
-	wg       sync.WaitGroup
-	closed   atomic.Bool
+	// scanMu + scanSeq form the seqlock that replaces the old global
+	// snapshot mutex: GC-side scans (SnapshotSetAndBound and the horizon
+	// reads) serialize on scanMu and bracket their work with two scanSeq
+	// increments (odd while scanning); snapshot acquirers never take the
+	// mutex — they publish into the registry lock-free and retry if scanSeq
+	// moved, so a scan observes every snapshot either in the registry or
+	// with a timestamp at or above the bound it read. See DESIGN.md §15.
+	scanMu  sync.Mutex
+	scanSeq atomic.Uint64
+
+	intake commitIntake
+	propCh chan *mvcc.GroupCommitContext
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
 	// sendGate serializes commit submission against shutdown: senders hold
 	// the read side while enqueueing, Close takes the write side before
-	// signalling quit, so every request that entered the channel is seen by
+	// signalling quit, so every request that entered the intake is seen by
 	// the committer's final drain and answered — no sender can block
 	// forever on its done channel.
 	sendGate   sync.RWMutex
@@ -143,14 +154,14 @@ type Manager struct {
 func NewManager(space *mvcc.Space, reg *sts.Registry, cfg Config) *Manager {
 	cfg.fill()
 	m := &Manager{
-		cfg:      cfg,
-		space:    space,
-		reg:      reg,
-		mon:      newMonitor(),
-		commitCh: make(chan *commitReq, 1024),
-		propCh:   make(chan *mvcc.GroupCommitContext, 1024),
-		quit:     make(chan struct{}),
+		cfg:    cfg,
+		space:  space,
+		reg:    reg,
+		mon:    newMonitor(),
+		propCh: make(chan *mvcc.GroupCommitContext, 1024),
+		quit:   make(chan struct{}),
 	}
+	m.intake.init()
 	m.wg.Add(2)
 	go m.committer()
 	go m.propagator()
@@ -165,7 +176,7 @@ func (m *Manager) Close() {
 		return
 	}
 	// Bar new senders first; in-flight enqueues finish under the read lock,
-	// so by the time quit closes every accepted request is in the channel
+	// so by the time quit closes every accepted request is in the intake
 	// and the committer's final drain answers it.
 	m.sendGate.Lock()
 	m.sendClosed = true
@@ -181,7 +192,7 @@ func (m *Manager) submit(req *commitReq) error {
 	if m.sendClosed {
 		return ErrClosed
 	}
-	m.commitCh <- req
+	m.intake.put(req)
 	return nil
 }
 
@@ -198,10 +209,25 @@ func (m *Manager) Monitor() *Monitor { return m.mon }
 // snapshot adopts as its timestamp.
 func (m *Manager) CurrentTS() ts.CID { return ts.CID(m.commitTS.Load()) }
 
+// beginScan/endScan bracket a GC-side read of the snapshot registry. The
+// mutex serializes scanners against each other; the sequence counter is what
+// acquirers validate against (odd = scan in progress).
+func (m *Manager) beginScan() {
+	m.scanMu.Lock()
+	m.scanSeq.Add(1)
+}
+
+func (m *Manager) endScan() {
+	m.scanSeq.Add(1)
+	m.scanMu.Unlock()
+}
+
 // GlobalHorizon returns the timestamp below which whole versions are
-// invisible to every active snapshot: the minimum over the global and all
-// per-table trackers (§4.4), or CurrentTS()+1 when no snapshot is active.
+// invisible to every active snapshot: the minimum over every snapshot
+// announcement (§4.4), or CurrentTS()+1 when no snapshot is active.
 func (m *Manager) GlobalHorizon() ts.CID {
+	m.beginScan()
+	defer m.endScan()
 	if min, ok := m.reg.UnionMin(); ok {
 		return min
 	}
@@ -209,9 +235,11 @@ func (m *Manager) GlobalHorizon() ts.CID {
 }
 
 // TableHorizon returns the reclamation horizon for one table: the minimum of
-// the global tracker and that table's own tracker (§4.3 step 3), or
+// the unscoped snapshots and that table's own trackers (§4.3 step 3), or
 // CurrentTS()+1 when nothing constrains the table.
 func (m *Manager) TableHorizon(tid ts.TableID) ts.CID {
+	m.beginScan()
+	defer m.endScan()
 	if min, ok := m.reg.EffectiveMin(tid); ok {
 		return min
 	}
@@ -221,28 +249,46 @@ func (m *Manager) TableHorizon(tid ts.TableID) ts.CID {
 // PartitionHorizon returns the reclamation horizon for versions inside one
 // partition of a table, or CurrentTS()+1 when nothing constrains it.
 func (m *Manager) PartitionHorizon(tid ts.TableID, p ts.PartitionID) ts.CID {
+	m.beginScan()
+	defer m.endScan()
 	if min, ok := m.reg.EffectiveMinAt(tid, p); ok {
 		return min
 	}
 	return m.CurrentTS() + 1
 }
 
-// ActiveTimestamps returns the ascending set of all active snapshot
-// timestamps (global plus per-table trackers) — the S sequence of the
-// interval collector.
-func (m *Manager) ActiveTimestamps() []ts.CID {
-	return m.reg.Union().Snapshot()
+// GlobalTrackerHorizon returns the bound below which only table- or
+// partition-scoped snapshots can still pin versions: the minimum over the
+// unscoped snapshot announcements, or CurrentTS()+1 when there are none.
+// The table collector uses it to size the gap table GC opened up.
+func (m *Manager) GlobalTrackerHorizon() ts.CID {
+	m.beginScan()
+	defer m.endScan()
+	if min, ok := m.reg.GlobalMin(); ok {
+		return min
+	}
+	return m.CurrentTS() + 1
 }
 
-// SnapshotSetAndBound atomically captures the active snapshot timestamp set
-// together with the current commit timestamp. Snapshot acquisition holds the
-// same latch, so every snapshot registered after this call returns has a
-// timestamp >= the returned bound — the safety condition interval
-// reclamation needs to collect versions above max(S) up to the bound.
+// ActiveTimestamps returns the ascending set of all active snapshot
+// timestamps — the S sequence of the interval collector.
+func (m *Manager) ActiveTimestamps() []ts.CID {
+	m.beginScan()
+	defer m.endScan()
+	return m.reg.UnionSnapshot()
+}
+
+// SnapshotSetAndBound captures the active snapshot timestamp set together
+// with the current commit timestamp. Snapshot acquisition validates against
+// the scan's seqlock window, so every snapshot held across or registered
+// after this call either appears in the returned set or has a timestamp >=
+// the returned bound — the safety condition interval reclamation needs to
+// collect versions above max(S) up to the bound.
 func (m *Manager) SnapshotSetAndBound() ([]ts.CID, ts.CID) {
-	m.snapMu.Lock()
-	defer m.snapMu.Unlock()
-	return m.reg.Union().Snapshot(), m.CurrentTS()
+	m.beginScan()
+	defer m.endScan()
+	bound := m.CurrentTS()
+	return m.reg.UnionSnapshot(), bound
 }
 
 // Stats returns current counters.
@@ -259,6 +305,11 @@ func (m *Manager) Stats() Stats {
 type commitReq struct {
 	tctx *mvcc.TransContext
 	done chan commitResult
+	// stripe picks the intake queue this request enqueues to. It is assigned
+	// round-robin when the request object is first created and then travels
+	// with the object through the pool, so each P's pooled requests keep
+	// hitting the same stripe — per-P striping without goroutine IDs.
+	stripe uint32
 }
 
 type commitResult struct {
@@ -266,78 +317,148 @@ type commitResult struct {
 	err error
 }
 
-// committer is the single goroutine that forms commit groups: it drains
-// queued commit requests into a batch, creates one GroupCommitContext for
-// the whole batch, assigns the CID with one atomic store, then advances the
-// global commit timestamp and releases the waiters.
+var commitReqSeed atomic.Uint32
+
+// commitReqPool recycles commit requests and their (cap-1) done channels, so
+// the commit fast path allocates neither.
+var commitReqPool = sync.Pool{New: func() any {
+	return &commitReq{
+		done:   make(chan commitResult, 1),
+		stripe: commitReqSeed.Add(1) & intakeStripeMask,
+	}
+}}
+
+func getCommitReq(tctx *mvcc.TransContext) *commitReq {
+	r := commitReqPool.Get().(*commitReq)
+	r.tctx = tctx
+	return r
+}
+
+// putCommitReq returns a request whose result has been consumed. The done
+// channel is empty again (commit answers are single-shot), so the object is
+// immediately reusable.
+func putCommitReq(r *commitReq) {
+	r.tctx = nil
+	commitReqPool.Put(r)
+}
+
+// committer is the single goroutine that forms commit groups: it sweeps the
+// sharded intake into a batch, creates one GroupCommitContext per
+// GroupCommitMaxBatch-sized chunk, assigns the CID with one atomic store,
+// then advances the global commit timestamp and releases the waiters.
+//
+// Barrier requests need one extra sweep before they are acknowledged: a
+// sweep visits stripes in a fixed order, so it can catch a barrier on an
+// early stripe while missing a commit that was enqueued to an
+// already-visited stripe strictly before the barrier was submitted. Every
+// such commit is in its stripe before the catching sweep finishes, so the
+// *next* sweep is guaranteed to include it — barriers caught by sweep k are
+// therefore answered only after sweep k+1's batches have been published.
 func (m *Manager) committer() {
 	defer m.wg.Done()
+	var (
+		drained  []*commitReq
+		real     []*commitReq
+		barBufs  [2][]*commitReq // double-buffered: one side is the live carry
+		barside  int
+		carry    []*commitReq // barriers awaiting their fence sweep
+		timer    *time.Timer
+	)
 	for {
-		var first *commitReq
-		select {
-		case first = <-m.commitCh:
-		case <-m.quit:
-			m.failPending()
-			return
-		}
-		batch := []*commitReq{first}
-		batch = m.fillBatch(batch)
-		m.commitBatch(batch)
-	}
-}
-
-// fillBatch gathers more queued requests, waiting up to the configured
-// window for stragglers.
-func (m *Manager) fillBatch(batch []*commitReq) []*commitReq {
-	var deadline <-chan time.Time
-	if m.cfg.GroupCommitWindow > 0 {
-		t := time.NewTimer(m.cfg.GroupCommitWindow)
-		defer t.Stop()
-		deadline = t.C
-	}
-	for len(batch) < m.cfg.GroupCommitMaxBatch {
-		select {
-		case r := <-m.commitCh:
-			batch = append(batch, r)
-		case <-deadline:
-			return batch
-		default:
-			if deadline == nil {
-				return batch
-			}
+		if len(carry) == 0 {
 			select {
-			case r := <-m.commitCh:
-				batch = append(batch, r)
-			case <-deadline:
-				return batch
+			case <-m.intake.notify:
 			case <-m.quit:
-				return batch
+				m.failPending(nil)
+				return
+			}
+		} else {
+			// A carry is pending: sweep immediately (its fence), without
+			// waiting for a notification that may never come.
+			select {
+			case <-m.quit:
+				m.failPending(carry)
+				return
+			default:
 			}
 		}
+		drained = m.intake.drain(drained[:0])
+		real = real[:0]
+		barriers := barBufs[barside][:0]
+		real, barriers = splitRequests(drained, real, barriers)
+
+		// Wait up to the configured window for stragglers, reusing one timer
+		// across batches.
+		if m.cfg.GroupCommitWindow > 0 && len(real) > 0 && len(real) < m.cfg.GroupCommitMaxBatch {
+			if timer == nil {
+				timer = time.NewTimer(m.cfg.GroupCommitWindow)
+			} else {
+				timer.Reset(m.cfg.GroupCommitWindow)
+			}
+			window := true
+			for window && len(real) < m.cfg.GroupCommitMaxBatch {
+				select {
+				case <-m.intake.notify:
+					drained = m.intake.drain(drained[:0])
+					real, barriers = splitRequests(drained, real, barriers)
+				case <-timer.C:
+					window = false
+				case <-m.quit:
+					window = false
+				}
+			}
+			if window {
+				// Left the loop with the timer still armed: disarm and drain
+				// so the next Reset starts clean.
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+			}
+		}
+
+		for start := 0; start < len(real); start += m.cfg.GroupCommitMaxBatch {
+			end := start + m.cfg.GroupCommitMaxBatch
+			if end > len(real) {
+				end = len(real)
+			}
+			m.commitBatch(real[start:end])
+		}
+		// This sweep's publications are the fence the previous sweep's
+		// barriers were waiting for.
+		for _, b := range carry {
+			b.done <- commitResult{}
+		}
+		barBufs[barside] = barriers
+		carry = barriers
+		barside ^= 1
 	}
-	return batch
 }
 
-func (m *Manager) commitBatch(batch []*commitReq) {
-	// Split out barrier requests (tctx == nil): they are acknowledged after
-	// every real commit in this batch is published, giving callers a fence
-	// over the committer's FIFO.
-	var barriers []*commitReq
-	tcs := make([]*mvcc.TransContext, 0, len(batch))
-	real := make([]*commitReq, 0, len(batch))
-	for _, r := range batch {
+// splitRequests partitions a sweep into real commits and barriers, appending
+// to the provided buffers.
+func splitRequests(reqs, real, barriers []*commitReq) ([]*commitReq, []*commitReq) {
+	for _, r := range reqs {
 		if r.tctx == nil {
 			barriers = append(barriers, r)
-			continue
+		} else {
+			real = append(real, r)
 		}
-		tcs = append(tcs, r.tctx)
-		real = append(real, r)
 	}
+	return real, barriers
+}
+
+func (m *Manager) commitBatch(real []*commitReq) {
 	if len(real) == 0 {
-		for _, r := range barriers {
-			r.done <- commitResult{}
-		}
 		return
+	}
+	// The member slice is retained by the group for its whole lifetime, so it
+	// cannot come from a scratch buffer.
+	tcs := make([]*mvcc.TransContext, 0, len(real))
+	for _, r := range real {
+		tcs = append(tcs, r.tctx)
 	}
 	cid := ts.CID(m.commitTS.Load()) + 1
 	// Write-ahead logging: the group must be durable before anything makes
@@ -345,7 +466,7 @@ func (m *Manager) commitBatch(batch []*commitReq) {
 	// readers cannot observe the group while it is being logged.
 	if logger := m.cfg.CommitLogger; logger != nil {
 		if err := logger.LogCommit(cid, tcs); err != nil {
-			m.failBatch(tcs, real, barriers, fmt.Errorf("txn: commit logging failed: %w", err))
+			m.failBatch(tcs, real, fmt.Errorf("txn: commit logging failed: %w", err))
 			return
 		}
 	}
@@ -353,7 +474,7 @@ func (m *Manager) commitBatch(batch []*commitReq) {
 		// The group is in the log but will never be published. The CID must
 		// not be reused (replay would then skip the next real group), so this
 		// is unrecoverable without restarting through recovery: fail-stop.
-		m.failBatch(tcs, real, barriers, fmt.Errorf("txn: publish failed after durable logging: %w", err))
+		m.failBatch(tcs, real, fmt.Errorf("txn: publish failed after durable logging: %w", err))
 		return
 	}
 	gcc := mvcc.NewGroup(tcs)
@@ -368,9 +489,6 @@ func (m *Manager) commitBatch(batch []*commitReq) {
 	m.txnsCommitted.Add(int64(len(real)))
 	for _, r := range real {
 		r.done <- commitResult{cid: cid}
-	}
-	for _, r := range barriers {
-		r.done <- commitResult{}
 	}
 	if m.cfg.SynchronousPropagation {
 		m.propagated.Add(int64(gcc.Propagate()))
@@ -387,14 +505,11 @@ func (m *Manager) commitBatch(batch []*commitReq) {
 // failBatch rolls back every member of a batch whose logging or publication
 // failed, answers all waiters with err, counts the aborts, and notifies the
 // durability-failure hook so the engine can fail-stop.
-func (m *Manager) failBatch(tcs []*mvcc.TransContext, real, barriers []*commitReq, err error) {
+func (m *Manager) failBatch(tcs []*mvcc.TransContext, real []*commitReq, err error) {
 	m.rollbackBatch(tcs)
 	m.txnsAborted.Add(int64(len(real)))
 	for _, r := range real {
 		r.done <- commitResult{err: err}
-	}
-	for _, r := range barriers {
-		r.done <- commitResult{}
 	}
 	if m.cfg.OnDurabilityFailure != nil {
 		m.cfg.OnDurabilityFailure(err)
@@ -415,11 +530,13 @@ func (m *Manager) rollbackBatch(tcs []*mvcc.TransContext) {
 // (or failed). Checkpointing fences on it after rotating the log so the
 // snapshot it takes covers everything written to the closed segments.
 func (m *Manager) Barrier() error {
-	req := &commitReq{done: make(chan commitResult, 1)}
+	req := getCommitReq(nil)
 	if err := m.submit(req); err != nil {
+		putCommitReq(req)
 		return err
 	}
 	res := <-req.done
+	putCommitReq(req)
 	return res.err
 }
 
@@ -454,15 +571,14 @@ func (m *Manager) PublishReplicated(cid ts.CID, tc *mvcc.TransContext) error {
 	return nil
 }
 
-// failPending drains and fails requests still queued at shutdown.
-func (m *Manager) failPending() {
-	for {
-		select {
-		case r := <-m.commitCh:
-			r.done <- commitResult{err: ErrClosed}
-		default:
-			return
-		}
+// failPending drains and fails requests still queued at shutdown, including
+// barriers carried from the last sweep.
+func (m *Manager) failPending(carry []*commitReq) {
+	for _, r := range carry {
+		r.done <- commitResult{err: ErrClosed}
+	}
+	for _, r := range m.intake.drain(nil) {
+		r.done <- commitResult{err: ErrClosed}
 	}
 }
 

@@ -7,46 +7,71 @@ import (
 	"hybridgc/internal/ts"
 )
 
+// monitorStripes shards the live-snapshot set so registration does not
+// reintroduce a global mutex behind the lock-free acquire path. Snapshots
+// pick their stripe from the registry handle's announcement slot, so
+// concurrent snapshots naturally land on different stripes.
+const monitorStripes = 64
+
+type monitorStripe struct {
+	mu   sync.Mutex
+	live map[*Snapshot]struct{}
+	_    [88]byte
+}
+
 // Monitor is the system monitor of §4.3 step 1: it keeps track of every
 // active snapshot's status so the table garbage collector can discover
 // long-lived snapshots and their table scopes.
 type Monitor struct {
-	mu   sync.Mutex
-	live map[*Snapshot]struct{}
+	stripes [monitorStripes]monitorStripe
 }
 
 func newMonitor() *Monitor {
-	return &Monitor{live: make(map[*Snapshot]struct{})}
+	mo := &Monitor{}
+	for i := range mo.stripes {
+		mo.stripes[i].live = make(map[*Snapshot]struct{})
+	}
+	return mo
 }
 
 func (mo *Monitor) add(s *Snapshot) {
-	mo.mu.Lock()
-	mo.live[s] = struct{}{}
-	mo.mu.Unlock()
+	st := &mo.stripes[s.stripe]
+	st.mu.Lock()
+	st.live[s] = struct{}{}
+	st.mu.Unlock()
 }
 
 func (mo *Monitor) remove(s *Snapshot) {
-	mo.mu.Lock()
-	delete(mo.live, s)
-	mo.mu.Unlock()
+	st := &mo.stripes[s.stripe]
+	st.mu.Lock()
+	delete(st.live, s)
+	st.mu.Unlock()
 }
 
 // Active returns the currently active snapshots (unordered).
 func (mo *Monitor) Active() []*Snapshot {
-	mo.mu.Lock()
-	defer mo.mu.Unlock()
-	out := make([]*Snapshot, 0, len(mo.live))
-	for s := range mo.live {
-		out = append(out, s)
+	var out []*Snapshot
+	for i := range mo.stripes {
+		st := &mo.stripes[i]
+		st.mu.Lock()
+		for s := range st.live {
+			out = append(out, s)
+		}
+		st.mu.Unlock()
 	}
 	return out
 }
 
 // ActiveCount returns the number of active snapshots.
 func (mo *Monitor) ActiveCount() int {
-	mo.mu.Lock()
-	defer mo.mu.Unlock()
-	return len(mo.live)
+	n := 0
+	for i := range mo.stripes {
+		st := &mo.stripes[i]
+		st.mu.Lock()
+		n += len(st.live)
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // LongLived returns snapshots older than threshold whose complete table

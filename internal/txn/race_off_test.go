@@ -1,0 +1,6 @@
+//go:build !race
+
+package txn
+
+// raceEnabled gates the zero-alloc pins; see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package txn
+
+// raceEnabled gates the zero-alloc pins: the race detector instruments
+// sync.Pool and escape paths with allocations of its own, so steady-state
+// counts are meaningless under -race.
+const raceEnabled = true

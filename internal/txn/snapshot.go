@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -35,12 +36,14 @@ func (k SnapshotKind) String() string {
 }
 
 // Snapshot is one active read view. It pins its timestamp in the snapshot
-// registry until released. A snapshot whose table scope is known a priori
-// (always under Stmt-SI, where the compiled plan names the tables; under
-// Trans-SI only for declared-table transactions) is eligible for table GC.
+// registry until released; the registry handle is embedded by value so a
+// statement snapshot costs one allocation, not two. A snapshot whose table
+// scope is known a priori (always under Stmt-SI, where the compiled plan
+// names the tables; under Trans-SI only for declared-table transactions) is
+// eligible for table GC.
 type Snapshot struct {
 	m     *Manager
-	h     *sts.Handle
+	h     sts.Handle
 	kind  SnapshotKind
 	scope []ts.TableID
 	// parts, when non-nil, narrows the scope below table granularity: the
@@ -49,6 +52,9 @@ type Snapshot struct {
 	// then scopes it to per-partition trackers.
 	parts   []ts.PartitionID
 	started time.Time
+	// stripe is the monitor shard the snapshot registered with (derived from
+	// the registry handle's slot, so concurrent snapshots spread naturally).
+	stripe uint32
 
 	released atomic.Bool
 	killed   atomic.Bool
@@ -64,22 +70,38 @@ func (m *Manager) AcquireSnapshot(kind SnapshotKind, scope []ts.TableID) *Snapsh
 // acquireSnapshot fully constructs the snapshot — including any partition
 // scope — before publishing it to the monitor, where the table collector
 // may read it concurrently.
+//
+// The hot path takes no lock: the timestamp read and the registry publish
+// are validated against the GC scan seqlock and retried on interference, so
+// SnapshotSetAndBound observes either the registered snapshot or a commit
+// timestamp at or below its bound (proof sketch in DESIGN.md §15).
 func (m *Manager) acquireSnapshot(kind SnapshotKind, scope []ts.TableID, parts []ts.PartitionID) *Snapshot {
-	// Reading the commit timestamp and registering it in the tracker happen
-	// under one latch so that SnapshotSetAndBound observes either the
-	// registered snapshot or a commit timestamp at or below its value.
-	m.snapMu.Lock()
-	cur := m.CurrentTS()
-	h := m.reg.Acquire(cur)
-	m.snapMu.Unlock()
 	s := &Snapshot{
 		m:       m,
-		h:       h,
 		kind:    kind,
 		scope:   append([]ts.TableID(nil), scope...),
 		parts:   append([]ts.PartitionID(nil), parts...),
 		started: time.Now(),
 	}
+	for {
+		seq := m.scanSeq.Load()
+		if seq&1 == 1 {
+			// A scan is in progress; publishing now could slip a timestamp
+			// below the bound it is about to return.
+			runtime.Gosched()
+			continue
+		}
+		cur := m.CurrentTS()
+		m.reg.AcquireInto(&s.h, cur)
+		if m.scanSeq.Load() == seq {
+			break
+		}
+		// A scan started (and possibly finished) while we published: it may
+		// have read its bound after our timestamp read but before our
+		// announcement landed. Retract and retry with a fresh timestamp.
+		s.h.Release()
+	}
+	s.stripe = s.h.Hint() % monitorStripes
 	m.mon.add(s)
 	return s
 }
@@ -137,7 +159,7 @@ func (s *Snapshot) Started() time.Time { return s.started }
 
 // Handle exposes the registry handle (the table collector moves it between
 // trackers).
-func (s *Snapshot) Handle() *sts.Handle { return s.h }
+func (s *Snapshot) Handle() *sts.Handle { return &s.h }
 
 // Scoped reports whether the table collector already moved this snapshot to
 // per-table trackers.

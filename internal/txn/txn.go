@@ -118,8 +118,9 @@ func (t *Txn) Commit() (ts.CID, error) {
 		t.releaseSnapshot()
 		return ts.Invalid, nil
 	}
-	req := &commitReq{tctx: t.tctx, done: make(chan commitResult, 1)}
+	req := getCommitReq(t.tctx)
 	if err := t.m.submit(req); err != nil {
+		putCommitReq(req)
 		t.state.Store(int32(stateAborted))
 		t.undo()
 		t.releaseSnapshot()
@@ -128,6 +129,7 @@ func (t *Txn) Commit() (ts.CID, error) {
 	// Every submitted request is answered: Close bars new senders before
 	// signalling the committer, whose final drain fails what remains queued.
 	res := <-req.done
+	putCommitReq(req)
 	if res.err != nil {
 		t.state.Store(int32(stateAborted))
 		t.undo()

@@ -109,14 +109,14 @@ func TestGroupCommitShareSingleCID(t *testing.T) {
 func TestReadOnlyCommit(t *testing.T) {
 	m := newTestManager(t, Config{})
 	txn := m.Begin(TransSI, nil)
-	if m.Registry().Global().Len() != 1 {
+	if m.Registry().GlobalLen() != 1 {
 		t.Fatal("Trans-SI begin must register a snapshot")
 	}
 	cid, err := txn.Commit()
 	if err != nil || cid != ts.Invalid {
 		t.Fatalf("read-only commit = %d,%v", cid, err)
 	}
-	if m.Registry().Global().Len() != 0 {
+	if m.Registry().GlobalLen() != 0 {
 		t.Fatal("snapshot must be released at commit")
 	}
 	if _, err := txn.Commit(); err != ErrNotActive {
